@@ -1,0 +1,101 @@
+// Section VI-B ablation: measured wire cost of the ECtN partial-array
+// broadcast under the three encodings the paper discusses (full array,
+// nonempty-with-id, incremental) plus the asynchronous-update policy, on
+// live traffic. The paper only *estimates* the full-array cost analytically
+// (~6 phits per 100-cycle update, ~6% of a local link on Table I); this
+// bench reproduces that estimate and then measures what the alternative
+// encodings actually save on running traffic.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/ectn_state.hpp"
+#include "engine/simulator.hpp"
+
+namespace {
+
+constexpr std::int32_t kPhitBits = 80;  // 10-byte phits (Section IV-B)
+
+struct Scenario {
+  std::string name;
+  dfsim::TrafficKind kind;
+  double load;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dfsim;
+  using namespace dfsim::bench;
+  const CliOptions cli(argc, argv);
+  BenchConfig cfg = parse_common(cli);
+  const auto async_mult =
+      static_cast<std::int32_t>(cli.get_int("async-mult", 4));
+  const auto urgent_delta =
+      static_cast<std::int32_t>(cli.get_int("urgent-delta", 4));
+
+  std::cout << "# Section VI-B — ECtN broadcast overhead\n"
+            << "# scale=" << cfg.scale << " (" << cfg.base.topo.nodes()
+            << " nodes), phit=" << kPhitBits << " bits, update period="
+            << cfg.base.routing.ectn_update_period << " cycles\n\n";
+
+  // The paper's analytic estimate, for this scale and for Table I.
+  for (const auto& preset : {std::string("paper"), std::string()}) {
+    SimParams p = preset.empty() ? cfg.base : presets::by_name(preset);
+    p.routing.kind = RoutingKind::kCbEctn;
+    const auto est = estimate_ectn_overhead(p);
+    std::cout << "analytic full-array estimate ("
+              << (preset.empty() ? cfg.scale : preset)
+              << "): " << est.counters << " counters x "
+              << est.bits_per_counter << " bits = " << est.payload_bits
+              << " bits = " << est.phits << " phits -> "
+              << 100.0 * est.bandwidth_fraction << "% of a local link\n";
+  }
+  std::cout << "\n";
+
+  const std::vector<Scenario> scenarios{
+      {"UN 0.30", TrafficKind::kUniform, 0.30},
+      {"UN 0.60", TrafficKind::kUniform, 0.60},
+      {"ADV+1 0.20", TrafficKind::kAdversarial, 0.20},
+      {"ADV+1 0.40", TrafficKind::kAdversarial, 0.40},
+  };
+
+  ResultTable table({"scenario", "full", "nonempty", "incr", "async",
+                     "full_phits", "overhead_pct", "urgent"});
+  for (const Scenario& sc : scenarios) {
+    SimParams p = cfg.base;
+    p.routing.kind = RoutingKind::kCbEctn;
+    p.traffic.kind = sc.kind;
+    p.traffic.adv_offset = 1;
+    p.traffic.load = sc.load;
+    Simulator sim(p);
+    sim.run(cfg.warmup);
+    sim.enable_ectn_monitor(async_mult, urgent_delta);
+    sim.run(cfg.measure);
+    const EctnOverheadReport rep = sim.ectn_monitor().report();
+
+    table.begin_row();
+    table.set("scenario", sc.name);
+    table.set("full", rep.avg_bits_full, 1);
+    table.set("nonempty", rep.avg_bits_nonempty, 1);
+    table.set("incr", rep.avg_bits_incremental, 1);
+    table.set("async", rep.avg_bits_async, 1);
+    table.set("full_phits", rep.phits_full(kPhitBits), 2);
+    table.set("overhead_pct",
+              100.0 * rep.overhead_fraction(
+                          kPhitBits, p.routing.ectn_update_period,
+                          rep.avg_bits_full),
+              2);
+    table.set("urgent", static_cast<double>(rep.async_urgent_messages), 0);
+  }
+  emit(cfg, table,
+       "avg broadcast payload (bits/update/router) per encoding; full-array "
+       "phits + link overhead; async urgent messages");
+
+  std::cout
+      << "\nReading: `nonempty` beats `full` while few counters are hot\n"
+      << "(uniform traffic); `incr` wins once the pattern is stable in\n"
+      << "either regime; `async` amortizes the ordinary broadcast over "
+      << async_mult << "x\nthe period and falls back to urgent (id,value) "
+      << "messages on abrupt\nchanges (Section VI-B's proposal).\n";
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Section VI-D x Figure 7: trigger adaptation speed on the Flattened
+// Butterfly.
+//
+// The paper's transient experiment (Figure 7) shows contention counters
+// adapting to a UN -> adversarial switch almost immediately while
+// credit/queue-based triggers need the queues of the minimal path to fill
+// first — and Figure 8 shows the queue-based delay growing with the buffer
+// size while the counter-based response stays put. This bench repeats both
+// on the FB companion simulator: after warming up with uniform traffic the
+// pattern flips to the row adversary at t=0; deliveries are bucketed by
+// *birth* window (the paper's methodology) and the misrouted share and mean
+// latency per window are printed for the queue trigger at two buffer depths
+// and the counter trigger.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "fbfly/fb_simulator.hpp"
+
+namespace {
+
+struct Series {
+  std::string name;
+  std::vector<double> misrouted_pct;
+  std::vector<double> latency;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dfsim;
+  using namespace dfsim::bench;
+  using namespace dfsim::fbfly;
+  const CliOptions cli(argc, argv);
+  const auto k = static_cast<std::int32_t>(cli.get_int("k", 4));
+  const auto n = static_cast<std::int32_t>(cli.get_int("n", 2));
+  const auto c = static_cast<std::int32_t>(cli.get_int("c", 8));
+  // 0.3 sits under the UN saturation point of the default 4-ary 2-flat
+  // (UN channel load = c*load*avg_hops/channels) while the row adversary
+  // oversubscribes each direct channel 2.4x — the Figure 7 regime.
+  const double load = cli.get_double("load", 0.3);
+  const auto warmup = static_cast<Cycle>(cli.get_int("warmup", 2000));
+  const auto window = static_cast<Cycle>(cli.get_int("window", 25));
+  const auto windows = static_cast<std::int32_t>(cli.get_int("windows", 14));
+  const bool csv = cli.has("csv");
+
+  const FbParams topo{k, n, c};
+  std::cout << "# Figure 7/8 story on the " << k << "-ary " << n << "-flat ("
+            << topo.nodes() << " nodes, Section VI-D): UN -> ADJ at t=0, "
+            << "load " << load << "\n\n";
+
+  struct Variant {
+    std::string name;
+    FbRouting routing;
+    std::int32_t buf;
+  };
+  const std::vector<Variant> variants{
+      {"UGALq_b8", FbRouting::kUgalQueue, 8},
+      {"UGALq_b32", FbRouting::kUgalQueue, 32},
+      {"CB_b8", FbRouting::kContention, 8},
+      {"CB_b32", FbRouting::kContention, 32},
+  };
+
+  std::vector<Series> series;
+  for (const Variant& variant : variants) {
+    FbConfig cfg;
+    cfg.topo = topo;
+    cfg.routing = variant.routing;
+    cfg.traffic = FbTraffic::kUniform;
+    cfg.load = load;
+    cfg.buf_packets = variant.buf;
+    cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+    FbSimulator sim(cfg);
+    sim.run(warmup);
+    const Cycle switch_cycle = sim.now();
+    sim.set_traffic(FbTraffic::kAdjacent);  // t = 0
+    sim.enable_delivery_log();
+    // Run the observation span plus a drain margin so late-born packets
+    // still land in their birth buckets.
+    sim.run(windows * window + 1500);
+
+    Series s;
+    s.name = variant.name;
+    std::vector<std::int64_t> count(static_cast<std::size_t>(windows), 0);
+    std::vector<std::int64_t> mis(static_cast<std::size_t>(windows), 0);
+    std::vector<double> lat(static_cast<std::size_t>(windows), 0.0);
+    for (const FbSimulator::Delivery& d : sim.delivery_log()) {
+      const Cycle t = d.birth - switch_cycle;
+      if (t < 0 || t >= windows * window) continue;
+      const auto w = static_cast<std::size_t>(t / window);
+      ++count[w];
+      if (d.misrouted) ++mis[w];
+      lat[w] += static_cast<double>(d.latency);
+    }
+    for (std::int32_t w = 0; w < windows; ++w) {
+      const auto i = static_cast<std::size_t>(w);
+      s.misrouted_pct.push_back(
+          count[i] > 0 ? 100.0 * static_cast<double>(mis[i]) /
+                             static_cast<double>(count[i])
+                       : 0.0);
+      s.latency.push_back(
+          count[i] > 0 ? lat[i] / static_cast<double>(count[i]) : 0.0);
+    }
+    series.push_back(std::move(s));
+  }
+
+  for (const char* metric : {"misrouted_pct", "latency"}) {
+    std::vector<std::string> columns{"t"};
+    for (const Series& s : series) columns.push_back(s.name);
+    ResultTable table(columns);
+    for (std::int32_t w = 0; w < windows; ++w) {
+      table.begin_row();
+      table.set("t", static_cast<double>(w * window), 0);
+      for (const Series& s : series) {
+        const auto i = static_cast<std::size_t>(w);
+        if (metric == std::string("misrouted_pct")) {
+          table.set(s.name, s.misrouted_pct[i], 1);
+        } else {
+          table.set(s.name, s.latency[i], 1);
+        }
+      }
+    }
+    std::cout << "== " << metric << " by birth window (" << window
+              << " cycles each) ==\n";
+    if (csv) {
+      table.write_csv(std::cout);
+    } else {
+      table.write_pretty(std::cout);
+    }
+    std::cout << "\n";
+  }
+
+  std::cout << "Reading: the counter trigger reacts within the first\n"
+               "window or two at either buffer depth; the queue trigger's\n"
+               "ramp is slower and stretches further when the buffers grow\n"
+               "from 8 to 32 packets — the Figure 7 vs Figure 8 contrast,\n"
+               "reproduced on a second topology.\n";
+  return 0;
+}

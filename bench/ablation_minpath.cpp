@@ -1,0 +1,99 @@
+// Section VI-C ablation: use of the minimal paths under adversarial traffic.
+//
+// With a fixed misrouting threshold and heavy ADV load, contention counters
+// stay high and (nearly) all adaptive traffic diverts nonminimally, leaving
+// the minimal path almost empty. The paper names two remedies it does not
+// evaluate: (a) traffic that must preserve in-order delivery is pinned to
+// the minimal path (as in Cray Cascade), and (b) a statistical trigger whose
+// misrouting probability ramps with the counter value instead of a hard
+// cutoff. Both are implemented here; this bench quantifies how each re-fills
+// the minimal path and what it costs in latency/throughput.
+#include <iostream>
+
+#include "common.hpp"
+
+namespace {
+
+struct Variant {
+  std::string name;
+  bool statistical = false;
+  std::int32_t window = 0;
+  double inorder = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dfsim;
+  using namespace dfsim::bench;
+  const CliOptions cli(argc, argv);
+  BenchConfig cfg = parse_common(cli);
+  const std::vector<double> loads = parse_loads(cli, {0.20, 0.30, 0.40});
+
+  const std::vector<Variant> variants{
+      {"fixed", false, 0, 0.0},
+      {"stat_w2", true, 2, 0.0},
+      {"stat_w4", true, 4, 0.0},
+      {"stat_w8", true, 8, 0.0},
+      {"inord10", false, 0, 0.10},
+      {"inord30", false, 0, 0.30},
+  };
+
+  SteadyOptions options{cfg.warmup, cfg.measure, cfg.reps};
+  std::vector<SweepPoint> points;
+  for (const Variant& v : variants) {
+    for (const double load : loads) {
+      SimParams p = cfg.base;
+      p.routing.kind = RoutingKind::kCbBase;
+      p.routing.statistical_trigger = v.statistical;
+      if (v.statistical) p.routing.statistical_window = v.window;
+      p.traffic.kind = TrafficKind::kAdversarial;
+      p.traffic.adv_offset = 1;
+      p.traffic.load = load;
+      p.traffic.inorder_fraction = v.inorder;
+      points.push_back(SweepPoint{p, options});
+    }
+  }
+  const auto results = run_sweep(points);
+
+  std::cout << "# Section VI-C — minimal-path usage under ADV+1 (Base)\n"
+            << "# scale=" << cfg.scale << " (" << cfg.base.topo.nodes()
+            << " nodes)\n\n";
+
+  for (const char* metric : {"minpath_pct", "latency", "throughput"}) {
+    std::vector<std::string> columns{"load"};
+    for (const Variant& v : variants) columns.push_back(v.name);
+    ResultTable table(columns);
+    for (std::size_t li = 0; li < loads.size(); ++li) {
+      table.begin_row();
+      table.set("load", loads[li], 2);
+      for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+        const SteadyResult& res = results[vi * loads.size() + li];
+        if (res.backlog_per_node > 4.0) {
+          table.set(variants[vi].name, "sat");
+          continue;
+        }
+        if (std::string(metric) == "minpath_pct") {
+          table.set(variants[vi].name, 100.0 * res.minimal_path_fraction, 1);
+        } else if (std::string(metric) == "latency") {
+          table.set(variants[vi].name, res.latency_avg, 1);
+        } else {
+          table.set(variants[vi].name, res.throughput, 3);
+        }
+      }
+    }
+    emit(cfg, table, metric == std::string("minpath_pct")
+                         ? "percent delivered on the pure minimal path"
+                         : metric == std::string("latency")
+                               ? "average packet latency (cycles)"
+                               : "accepted load (phits/node/cycle)");
+    std::cout << "\n";
+  }
+
+  std::cout << "Reading: `fixed` leaves the minimal path nearly empty at\n"
+               "high load (the Section VI-C observation). The statistical\n"
+               "ramp keeps a fraction of traffic minimal (wider window =\n"
+               "more minimal use, at some latency cost); pinning an\n"
+               "in-order share re-fills it deterministically.\n";
+  return 0;
+}

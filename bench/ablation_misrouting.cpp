@@ -1,0 +1,79 @@
+// Ablation bench: the two misrouting-policy design choices DESIGN.md calls
+// out, isolated on the Base mechanism.
+//
+//  1. Global candidates MM+L vs CRG: with CRG (current router's globals
+//     only), traffic funnelling into the source-group gateway must squeeze
+//     through that router's h-1 spare global links; MM+L spreads it across
+//     the whole group's links via committed local hops.
+//  2. Opportunistic local misrouting on/off: ADV+h funnels all intermediate-
+//     group traffic into one exit gateway per group, so disabling local
+//     misrouting costs latency exactly where the paper's Figure 5c
+//     exercises it.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dfsim;
+  using namespace dfsim::bench;
+  const CliOptions cli(argc, argv);
+  BenchConfig cfg = parse_common(cli);
+
+  struct Variant {
+    std::string name;
+    GlobalMisroutePolicy policy;
+    bool local_misroute;
+  };
+  const std::vector<Variant> variants{
+      {"MM+L_localmis", GlobalMisroutePolicy::kMmL, true},  // paper policy
+      {"CRG_localmis", GlobalMisroutePolicy::kCrg, true},
+      {"MM+L_nolocal", GlobalMisroutePolicy::kMmL, false},
+      {"CRG_nolocal", GlobalMisroutePolicy::kCrg, false},
+  };
+
+  SteadyOptions options{cfg.warmup, cfg.measure, cfg.reps};
+  auto run_panel = [&](std::int32_t offset, const std::string& title) {
+    const std::vector<double> loads = parse_loads(cli, {0.1, 0.2, 0.3, 0.4});
+    std::vector<std::string> columns{"load"};
+    for (const Variant& v : variants) columns.push_back(v.name);
+    ResultTable latency(columns);
+    ResultTable throughput(columns);
+
+    std::vector<SweepPoint> points;
+    for (const Variant& v : variants) {
+      for (const double load : loads) {
+        SimParams params = cfg.base;
+        params.routing.kind = RoutingKind::kCbBase;
+        params.routing.global_policy = v.policy;
+        params.routing.allow_local_misroute = v.local_misroute;
+        params.traffic.kind = TrafficKind::kAdversarial;
+        params.traffic.adv_offset = offset;
+        params.traffic.load = load;
+        points.push_back(SweepPoint{params, options});
+      }
+    }
+    const auto results = run_sweep(points);
+    for (std::size_t li = 0; li < loads.size(); ++li) {
+      latency.begin_row();
+      throughput.begin_row();
+      latency.set("load", loads[li], 2);
+      throughput.set("load", loads[li], 2);
+      for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+        const SteadyResult& r = results[vi * loads.size() + li];
+        if (r.backlog_per_node > 4.0) {
+          latency.set(variants[vi].name, "sat");
+        } else {
+          latency.set(variants[vi].name, r.latency_avg, 1);
+        }
+        throughput.set(variants[vi].name, r.throughput, 3);
+      }
+    }
+    std::cout << "# " << title << "\n\n";
+    emit(cfg, latency, "average packet latency (cycles)");
+    emit(cfg, throughput, "accepted load (phits/node/cycle)");
+  };
+
+  std::cout << "# Ablation — Base misrouting policy (scale=" << cfg.scale
+            << ", " << cfg.base.topo.nodes() << " nodes)\n\n";
+  run_panel(1, "ADV+1 (source-group funnel)");
+  run_panel(cfg.base.topo.h, "ADV+h (intermediate-group local funnel)");
+  return 0;
+}

@@ -1,0 +1,138 @@
+#include "common.hpp"
+
+#include <sstream>
+
+#include "sim/config_io.hpp"
+
+namespace dfsim::bench {
+
+BenchConfig parse_common(const CliOptions& cli) {
+  BenchConfig cfg;
+  cfg.scale = cli.get("scale", CliOptions::env("DFSIM_SCALE", "medium"));
+  cfg.base = presets::by_name(cfg.scale);
+  // --config=file.ini overlays a config file on the preset (partial files
+  // override only the keys they mention; see sim/config_io.hpp).
+  if (cli.has("config")) {
+    cfg.base = load_params(cli.get("config"), cfg.base);
+  }
+  // Paper scale uses the paper's measurement methodology by default.
+  if (cfg.scale == "paper") {
+    cfg.warmup = 5000;
+    cfg.measure = 15000;
+  }
+  cfg.warmup = cli.get_int(
+      "warmup", std::stol(CliOptions::env("DFSIM_WARMUP",
+                                          std::to_string(cfg.warmup))));
+  cfg.measure = cli.get_int(
+      "measure", std::stol(CliOptions::env("DFSIM_MEASURE",
+                                           std::to_string(cfg.measure))));
+  cfg.reps = static_cast<std::int32_t>(cli.get_int("reps", cfg.reps));
+  cfg.csv = cli.has("csv");
+  cfg.base.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  return cfg;
+}
+
+std::vector<double> parse_loads(const CliOptions& cli,
+                                const std::vector<double>& defaults) {
+  if (!cli.has("loads")) return defaults;
+  std::vector<double> loads;
+  std::stringstream ss(cli.get("loads"));
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) loads.push_back(std::stod(item));
+  }
+  return loads.empty() ? defaults : loads;
+}
+
+std::vector<RoutingKind> adaptive_lineup() {
+  return {RoutingKind::kPiggyback, RoutingKind::kOlm, RoutingKind::kCbBase,
+          RoutingKind::kCbHybrid, RoutingKind::kCbEctn};
+}
+
+std::vector<RoutingKind> parse_lineup(const CliOptions& cli,
+                                      std::vector<RoutingKind> defaults) {
+  if (cli.has("with-ugal")) {
+    defaults.push_back(RoutingKind::kUgalL);
+    defaults.push_back(RoutingKind::kUgalG);
+  }
+  if (!cli.has("routings")) return defaults;
+  std::vector<RoutingKind> kinds;
+  std::stringstream ss(cli.get("routings"));
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) kinds.push_back(routing_kind_from_string(item));
+  }
+  return kinds.empty() ? defaults : kinds;
+}
+
+void emit(const BenchConfig& cfg, const ResultTable& table,
+          const std::string& title) {
+  std::cout << "== " << title << " ==\n";
+  if (cfg.csv) {
+    table.write_csv(std::cout);
+  } else {
+    table.write_pretty(std::cout);
+  }
+  std::cout << "\n";
+}
+
+void run_load_sweep_figure(const BenchConfig& cfg,
+                           const std::vector<RoutingKind>& routings,
+                           const std::vector<double>& loads,
+                           const std::string& figure_title) {
+  std::vector<std::string> columns{"load"};
+  for (const RoutingKind r : routings) columns.push_back(to_string(r));
+
+  ResultTable latency(columns);
+  ResultTable throughput(columns);
+  ResultTable misrouted(columns);
+
+  SteadyOptions options;
+  options.warmup = cfg.warmup;
+  options.measure = cfg.measure;
+  options.reps = cfg.reps;
+
+  // All (routing, load) points are independent: run them as one sweep.
+  std::vector<SweepPoint> points;
+  for (const RoutingKind r : routings) {
+    SimParams params = cfg.base;
+    params.routing.kind = r;
+    for (const double load : loads) {
+      SweepPoint pt{params, options};
+      pt.params.traffic.load = load;
+      points.push_back(std::move(pt));
+    }
+  }
+  const std::vector<SteadyResult> results = run_sweep(points);
+
+  for (std::size_t li = 0; li < loads.size(); ++li) {
+    latency.begin_row();
+    throughput.begin_row();
+    misrouted.begin_row();
+    latency.set("load", loads[li], 2);
+    throughput.set("load", loads[li], 2);
+    misrouted.set("load", loads[li], 2);
+    for (std::size_t ri = 0; ri < routings.size(); ++ri) {
+      const SteadyResult& res = results[ri * loads.size() + li];
+      const std::string col = to_string(routings[ri]);
+      // Past saturation the delivered-packet latency is not meaningful (the
+      // paper cuts the curves there); mark those points.
+      if (res.backlog_per_node > 4.0) {
+        latency.set(col, "sat");
+      } else {
+        latency.set(col, res.latency_avg, 1);
+      }
+      throughput.set(col, res.throughput, 3);
+      misrouted.set(col, 100.0 * res.misrouted_fraction, 1);
+    }
+  }
+
+  std::cout << "# " << figure_title << "\n# scale=" << cfg.scale << " ("
+            << cfg.base.topo.nodes() << " nodes), warmup=" << cfg.warmup
+            << " measure=" << cfg.measure << " reps=" << cfg.reps << "\n\n";
+  emit(cfg, latency, "average packet latency (cycles) vs offered load");
+  emit(cfg, throughput, "accepted load (phits/node/cycle) vs offered load");
+  emit(cfg, misrouted, "globally misrouted packets (%) vs offered load");
+}
+
+}  // namespace dfsim::bench

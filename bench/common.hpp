@@ -1,0 +1,61 @@
+// Shared harness for the figure benches: scale/cycle configuration via CLI
+// flags and environment variables, standard routing line-ups, and table
+// printing in the paper's units.
+//
+// Every figure bench accepts:
+//   --scale=tiny|small|medium|paper   (default: $DFSIM_SCALE or "medium")
+//   --warmup=N --measure=N --reps=N   cycle/repetition overrides
+//   --loads=0.1,0.2,...               load points (steady-state figures)
+//   --csv                             machine-readable output
+//   --seed=N
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "engine/experiment.hpp"
+#include "engine/sweep.hpp"
+#include "sim/config.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace dfsim::bench {
+
+struct BenchConfig {
+  SimParams base;
+  Cycle warmup = 2000;
+  Cycle measure = 3000;
+  std::int32_t reps = 1;
+  bool csv = false;
+  std::string scale = "medium";
+};
+
+/// Parses common flags; figure-specific flags stay available via `cli`.
+[[nodiscard]] BenchConfig parse_common(const CliOptions& cli);
+
+/// Load points for a steady-state sweep: default per figure, overridable
+/// with --loads.
+[[nodiscard]] std::vector<double> parse_loads(
+    const CliOptions& cli, const std::vector<double>& defaults);
+
+/// The adaptive line-up the paper compares everywhere.
+[[nodiscard]] std::vector<RoutingKind> adaptive_lineup();
+
+/// Line-up overrides: --routings=MIN,Base,... replaces `defaults`;
+/// --with-ugal appends the UGAL-L/UGAL-G extra baselines.
+[[nodiscard]] std::vector<RoutingKind> parse_lineup(
+    const CliOptions& cli, std::vector<RoutingKind> defaults);
+
+/// Runs a (routing x load) steady-state grid and prints two tables shaped
+/// like the paper's latency (top) and throughput (bottom) panels.
+void run_load_sweep_figure(const BenchConfig& cfg,
+                           const std::vector<RoutingKind>& routings,
+                           const std::vector<double>& loads,
+                           const std::string& figure_title);
+
+/// Prints a table (pretty or CSV per cfg).
+void emit(const BenchConfig& cfg, const ResultTable& table,
+          const std::string& title);
+
+}  // namespace dfsim::bench

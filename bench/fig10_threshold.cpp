@@ -1,0 +1,92 @@
+// Figure 10: sensitivity of the Base mechanism to the misrouting threshold.
+// Paper expectations: low thresholds penalize UN (spurious misrouting —
+// latency above MIN, throughput loss); high thresholds penalize ADV+1 (late
+// misrouting — latency above VAL at low load). A valid middle band exists
+// around 2x the average number of VCs per input port.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dfsim;
+  using namespace dfsim::bench;
+  const CliOptions cli(argc, argv);
+  BenchConfig cfg = parse_common(cli);
+
+  // Threshold ranges centered on the preset's nominal threshold, mirroring
+  // the paper's th=3..7 (UN) and th=6..12 (ADV) around its th=6.
+  const std::int32_t nominal = cfg.base.routing.contention_threshold;
+  std::vector<std::int32_t> un_ths, adv_ths;
+  for (std::int32_t t = nominal - 3; t <= nominal + 1; ++t) {
+    if (t >= 1) un_ths.push_back(t);
+  }
+  for (std::int32_t t = nominal; t <= nominal + 6; t += 1) adv_ths.push_back(t);
+
+  SteadyOptions options{cfg.warmup, cfg.measure, cfg.reps};
+
+  auto run_panel = [&](TrafficKind traffic, std::int32_t offset,
+                       const std::vector<std::int32_t>& ths,
+                       const std::vector<double>& loads, RoutingKind reference,
+                       const std::string& title) {
+    std::vector<std::string> columns{"load"};
+    for (const std::int32_t th : ths) {
+      columns.push_back("th=" + std::to_string(th));
+    }
+    columns.push_back(to_string(reference));
+    ResultTable latency(columns);
+    ResultTable throughput(columns);
+
+    std::vector<SweepPoint> points;
+    for (const std::int32_t th : ths) {
+      for (const double load : loads) {
+        SimParams params = cfg.base;
+        params.routing.kind = RoutingKind::kCbBase;
+        params.routing.contention_threshold = th;
+        params.traffic.kind = traffic;
+        params.traffic.adv_offset = offset;
+        params.traffic.load = load;
+        points.push_back(SweepPoint{params, options});
+      }
+    }
+    for (const double load : loads) {  // reference line (MIN or VAL)
+      SimParams params = cfg.base;
+      params.routing.kind = reference;
+      params.traffic.kind = traffic;
+      params.traffic.adv_offset = offset;
+      params.traffic.load = load;
+      points.push_back(SweepPoint{params, options});
+    }
+    const auto results = run_sweep(points);
+
+    for (std::size_t li = 0; li < loads.size(); ++li) {
+      latency.begin_row();
+      throughput.begin_row();
+      latency.set("load", loads[li], 2);
+      throughput.set("load", loads[li], 2);
+      for (std::size_t ti = 0; ti <= ths.size(); ++ti) {
+        const std::string col = ti < ths.size()
+                                    ? "th=" + std::to_string(ths[ti])
+                                    : to_string(reference);
+        const SteadyResult& res = results[ti * loads.size() + li];
+        if (res.backlog_per_node > 4.0) {
+          latency.set(col, "sat");
+        } else {
+          latency.set(col, res.latency_avg, 1);
+        }
+        throughput.set(col, res.throughput, 3);
+      }
+    }
+    std::cout << "# " << title << "\n\n";
+    emit(cfg, latency, "average packet latency (cycles)");
+    emit(cfg, throughput, "accepted load (phits/node/cycle)");
+  };
+
+  std::cout << "# Figure 10 — Base threshold sensitivity (nominal th="
+            << nominal << ")\n# scale=" << cfg.scale << " ("
+            << cfg.base.topo.nodes() << " nodes)\n\n";
+  run_panel(TrafficKind::kUniform, 1, un_ths,
+            parse_loads(cli, {0.1, 0.3, 0.5, 0.7, 0.8}), RoutingKind::kMin,
+            "Figure 10a — UN");
+  run_panel(TrafficKind::kAdversarial, 1, adv_ths,
+            parse_loads(cli, {0.1, 0.2, 0.3, 0.4, 0.45}), RoutingKind::kValiant,
+            "Figure 10b — ADV+1");
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Figure 5a: latency and throughput under uniform random traffic (UN).
+// Paper expectations: MIN sets the latency floor; Base and ECtN match it
+// before congestion; Hybrid sits between MIN and OLM; PB/OLM pay a latency
+// premium for credit-triggered misrouting. Peak throughput: Hybrid highest,
+// Base/ECtN close to OLM, all above MIN.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dfsim;
+  using namespace dfsim::bench;
+  const CliOptions cli(argc, argv);
+  BenchConfig cfg = parse_common(cli);
+  cfg.base.traffic.kind = TrafficKind::kUniform;
+
+  std::vector<RoutingKind> routings{RoutingKind::kMin};
+  for (const RoutingKind r : adaptive_lineup()) routings.push_back(r);
+  routings = parse_lineup(cli, std::move(routings));
+
+  const std::vector<double> loads =
+      parse_loads(cli, {0.05, 0.2, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9});
+  run_load_sweep_figure(cfg, routings, loads,
+                        "Figure 5a — uniform traffic (UN)");
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Figure 5b: latency and throughput under ADV+1 adversarial traffic.
+// Paper expectations: VAL is the reference (saturates at 0.5); MIN collapses
+// (single inter-group link); OLM/Base/Hybrid/ECtN all reach the Valiant
+// throughput bound, with ECtN obtaining the best latency thanks to
+// injection-time misrouting from combined counters.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dfsim;
+  using namespace dfsim::bench;
+  const CliOptions cli(argc, argv);
+  BenchConfig cfg = parse_common(cli);
+  cfg.base.traffic.kind = TrafficKind::kAdversarial;
+  cfg.base.traffic.adv_offset = 1;
+
+  std::vector<RoutingKind> routings{RoutingKind::kValiant};
+  for (const RoutingKind r : adaptive_lineup()) routings.push_back(r);
+  routings = parse_lineup(cli, std::move(routings));
+
+  const std::vector<double> loads =
+      parse_loads(cli, {0.01, 0.05, 0.1, 0.2, 0.3, 0.4, 0.45});
+  run_load_sweep_figure(cfg, routings, loads,
+                        "Figure 5b — adversarial traffic (ADV+1)");
+  return 0;
+}

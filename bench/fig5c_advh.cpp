@@ -1,0 +1,25 @@
+// Figure 5c: latency and throughput under ADV+h traffic — the pathological
+// pattern that additionally saturates local links in the intermediate group,
+// exercising local misrouting. Paper expectations: same ordering as ADV+1
+// but VAL/PB closer to the adaptive mechanisms, and ECtN slightly behind OLM
+// at low-mid loads.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dfsim;
+  using namespace dfsim::bench;
+  const CliOptions cli(argc, argv);
+  BenchConfig cfg = parse_common(cli);
+  cfg.base.traffic.kind = TrafficKind::kAdversarial;
+  cfg.base.traffic.adv_offset = cfg.base.topo.h;  // ADV+h
+
+  std::vector<RoutingKind> routings{RoutingKind::kValiant};
+  for (const RoutingKind r : adaptive_lineup()) routings.push_back(r);
+  routings = parse_lineup(cli, std::move(routings));
+
+  const std::vector<double> loads =
+      parse_loads(cli, {0.01, 0.05, 0.1, 0.2, 0.3, 0.4, 0.45});
+  run_load_sweep_figure(cfg, routings, loads,
+                        "Figure 5c — adversarial traffic (ADV+h)");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 6: average latency under mixed ADV+1/UN traffic at 35% load, as the
+// UN share sweeps 0%..100%. Paper expectations: contention counters stay
+// competitive with OLM at every blend; ECtN clearly the best.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dfsim;
+  using namespace dfsim::bench;
+  const CliOptions cli(argc, argv);
+  BenchConfig cfg = parse_common(cli);
+  const double load = cli.get_double("load", 0.35);
+
+  const std::vector<RoutingKind> routings = parse_lineup(cli, adaptive_lineup());
+  std::vector<double> fractions{0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+
+  std::vector<std::string> columns{"pct_UN"};
+  for (const RoutingKind r : routings) columns.push_back(to_string(r));
+  ResultTable latency(columns);
+
+  SteadyOptions options{cfg.warmup, cfg.measure, cfg.reps};
+  std::vector<SweepPoint> points;
+  for (const RoutingKind r : routings) {
+    for (const double f : fractions) {
+      SimParams params = cfg.base;
+      params.routing.kind = r;
+      params.traffic.kind = TrafficKind::kMixed;
+      params.traffic.adv_offset = 1;
+      params.traffic.mixed_uniform_fraction = f;
+      params.traffic.load = load;
+      points.push_back(SweepPoint{params, options});
+    }
+  }
+  const auto results = run_sweep(points);
+
+  for (std::size_t fi = 0; fi < fractions.size(); ++fi) {
+    latency.begin_row();
+    latency.set("pct_UN", 100.0 * fractions[fi], 0);
+    for (std::size_t ri = 0; ri < routings.size(); ++ri) {
+      const SteadyResult& res = results[ri * fractions.size() + fi];
+      const std::string col = to_string(routings[ri]);
+      if (res.backlog_per_node > 4.0) {
+        latency.set(col, "sat");
+      } else {
+        latency.set(col, res.latency_avg, 1);
+      }
+    }
+  }
+
+  std::cout << "# Figure 6 — mixed ADV+1/UN traffic, load=" << load
+            << "\n# scale=" << cfg.scale << " (" << cfg.base.topo.nodes()
+            << " nodes)\n\n";
+  emit(cfg, latency, "average packet latency (cycles) vs %UN");
+  return 0;
+}

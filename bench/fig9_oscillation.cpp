@@ -1,0 +1,60 @@
+// Figure 9: routing oscillations on a long timescale after the UN -> ADV+1
+// switch (small buffers, load 20%), PB vs ECtN. Paper expectations: PB's
+// delayed ECN control loop oscillates with a ~500-cycle period (decaying but
+// persistent); ECtN converges to a flat latency because contention does not
+// depend on the routing decision.
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dfsim;
+  using namespace dfsim::bench;
+  const CliOptions cli(argc, argv);
+  BenchConfig cfg = parse_common(cli);
+  const double load = cli.get_double("load", 0.2);
+  const Cycle post = cli.get_int("post", 1600);
+  const Cycle step = cli.get_int("step", 25);
+  const Cycle window = cli.get_int("window", 25);
+  const std::int32_t reps =
+      static_cast<std::int32_t>(cli.get_int("reps", 5));
+
+  const std::vector<RoutingKind> routings{RoutingKind::kPiggyback,
+                                          RoutingKind::kCbEctn};
+
+  TransientOptions topt;
+  topt.before.kind = TrafficKind::kUniform;
+  topt.before.load = load;
+  topt.after.kind = TrafficKind::kAdversarial;
+  topt.after.adv_offset = 1;
+  topt.after.load = load;
+  topt.warmup = cfg.warmup;
+  topt.pre = 0;
+  topt.post = post;
+  topt.reps = reps;
+
+  std::vector<std::string> columns{"cycle"};
+  for (const RoutingKind r : routings) columns.push_back(to_string(r));
+  ResultTable latency(columns);
+
+  std::vector<TransientResult> results;
+  for (const RoutingKind r : routings) {
+    SimParams params = cfg.base;
+    params.routing.kind = r;
+    results.push_back(run_transient(params, topt));
+  }
+
+  for (Cycle t = 0; t < post; t += step) {
+    latency.begin_row();
+    latency.set("cycle", static_cast<double>(t), 0);
+    for (std::size_t ri = 0; ri < routings.size(); ++ri) {
+      latency.set(to_string(routings[ri]), results[ri].latency_at(t, window),
+                  1);
+    }
+  }
+
+  std::cout << "# Figure 9 — oscillations after UN->ADV+1, PB vs ECtN\n"
+               "# scale="
+            << cfg.scale << " (" << cfg.base.topo.nodes()
+            << " nodes), reps=" << reps << "\n\n";
+  emit(cfg, latency, "average latency of delivered packets vs cycle");
+  return 0;
+}

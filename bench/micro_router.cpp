@@ -1,0 +1,31 @@
+// Micro-benchmark: full simulator cycle cost per preset and routing — the
+// end-to-end figure that bounds every experiment's wall-clock time.
+#include <benchmark/benchmark.h>
+
+#include "engine/simulator.hpp"
+
+namespace {
+
+void BM_SimulatorCycle(benchmark::State& state) {
+  using namespace dfsim;
+  SimParams params =
+      state.range(0) == 0 ? presets::tiny() : presets::medium();
+  params.routing.kind =
+      state.range(1) == 0 ? RoutingKind::kMin : RoutingKind::kCbBase;
+  params.traffic.kind = TrafficKind::kUniform;
+  params.traffic.load = 0.3;
+  Simulator sim(params);
+  sim.run(500);  // reach steady occupancy
+  for (auto _ : state) {
+    sim.step();
+  }
+  state.counters["nodes"] = static_cast<double>(params.topo.nodes());
+}
+BENCHMARK(BM_SimulatorCycle)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace

@@ -1,0 +1,54 @@
+// Micro-benchmark: Dragonfly topology queries (minimal_output is called for
+// every head packet every cycle — hot path #2).
+#include <benchmark/benchmark.h>
+
+#include "topo/dragonfly.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void BM_MinimalOutput(benchmark::State& state) {
+  using namespace dfsim;
+  const SimParams params =
+      state.range(0) == 0 ? presets::medium() : presets::paper();
+  const DragonflyTopology topo(params.topo);
+  Rng rng(3);
+  for (auto _ : state) {
+    const auto r = static_cast<RouterId>(
+        rng.next_below(static_cast<std::uint64_t>(topo.routers())));
+    const auto n = static_cast<NodeId>(
+        rng.next_below(static_cast<std::uint64_t>(topo.nodes())));
+    benchmark::DoNotOptimize(topo.minimal_output(r, n));
+  }
+}
+BENCHMARK(BM_MinimalOutput)->Arg(0)->Arg(1);
+
+void BM_PeerLookup(benchmark::State& state) {
+  using namespace dfsim;
+  const DragonflyTopology topo(presets::paper().topo);
+  Rng rng(5);
+  for (auto _ : state) {
+    const auto r = static_cast<RouterId>(
+        rng.next_below(static_cast<std::uint64_t>(topo.routers())));
+    const auto port = static_cast<PortIndex>(
+        rng.next_below(static_cast<std::uint64_t>(topo.forward_ports())));
+    benchmark::DoNotOptimize(topo.peer(r, port));
+  }
+}
+BENCHMARK(BM_PeerLookup);
+
+void BM_MinimalGlobalSource(benchmark::State& state) {
+  using namespace dfsim;
+  const DragonflyTopology topo(presets::paper().topo);
+  Rng rng(9);
+  const auto groups = static_cast<std::uint64_t>(topo.groups());
+  for (auto _ : state) {
+    const auto g = static_cast<GroupId>(rng.next_below(groups));
+    auto gd = static_cast<GroupId>(rng.next_below(groups - 1));
+    if (gd >= g) ++gd;
+    benchmark::DoNotOptimize(topo.minimal_global_source(g, gd));
+  }
+}
+BENCHMARK(BM_MinimalGlobalSource);
+
+}  // namespace

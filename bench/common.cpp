@@ -1,5 +1,6 @@
 #include "common.hpp"
 
+#include <cstdlib>
 #include <sstream>
 
 #include "sim/config_io.hpp"
@@ -9,26 +10,34 @@ namespace dfsim::bench {
 BenchConfig parse_common(const CliOptions& cli) {
   BenchConfig cfg;
   cfg.scale = cli.get("scale", CliOptions::env("DFSIM_SCALE", "medium"));
-  cfg.base = presets::by_name(cfg.scale);
-  // --config=file.ini overlays a config file on the preset (partial files
-  // override only the keys they mention; see sim/config_io.hpp).
-  if (cli.has("config")) {
-    cfg.base = load_params(cli.get("config"), cfg.base);
+  try {
+    cfg.base = presets::by_name(cfg.scale);
+    // --config=file.ini overlays a config file on the preset (partial files
+    // override only the keys they mention; see sim/config_io.hpp).
+    if (cli.has("config")) {
+      cfg.base = load_params(cli.get("config"), cfg.base);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    std::exit(2);
   }
   // Paper scale uses the paper's measurement methodology by default.
   if (cfg.scale == "paper") {
     cfg.warmup = 5000;
     cfg.measure = 15000;
   }
-  cfg.warmup = cli.get_int(
-      "warmup", std::stol(CliOptions::env("DFSIM_WARMUP",
-                                          std::to_string(cfg.warmup))));
+  // env_int tolerates unset or garbage DFSIM_WARMUP/DFSIM_MEASURE instead of
+  // throwing out of std::stol.
+  cfg.warmup = cli.get_int("warmup",
+                           CliOptions::env_int("DFSIM_WARMUP", cfg.warmup));
   cfg.measure = cli.get_int(
-      "measure", std::stol(CliOptions::env("DFSIM_MEASURE",
-                                           std::to_string(cfg.measure))));
+      "measure", CliOptions::env_int("DFSIM_MEASURE", cfg.measure));
   cfg.reps = static_cast<std::int32_t>(cli.get_int("reps", cfg.reps));
   cfg.csv = cli.has("csv");
-  cfg.base.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  // Fall back to the seed already in the params (a --config file may have
+  // set one) rather than clobbering it with a literal.
+  cfg.base.seed = static_cast<std::uint64_t>(
+      cli.get_int("seed", static_cast<std::int64_t>(cfg.base.seed)));
   return cfg;
 }
 
@@ -60,7 +69,14 @@ std::vector<RoutingKind> parse_lineup(const CliOptions& cli,
   std::stringstream ss(cli.get("routings"));
   std::string item;
   while (std::getline(ss, item, ',')) {
-    if (!item.empty()) kinds.push_back(routing_kind_from_string(item));
+    if (item.empty()) continue;
+    try {
+      kinds.push_back(routing_kind_from_string(item));
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what()
+                << " (expected MIN,VAL,PB,OLM,Base,Hybrid,ECtN,UGAL-L,UGAL-G)\n";
+      std::exit(2);
+    }
   }
   return kinds.empty() ? defaults : kinds;
 }

@@ -1,0 +1,46 @@
+// Misrouting triggers. The Base mechanism fires when a contention counter
+// reaches a fixed threshold; the Section VI-C statistical variant ramps the
+// misrouting probability over a window of counter values below the threshold
+// so the minimal path is never fully abandoned under sustained adversarial
+// load.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace dfsim {
+
+struct ContentionThresholdTrigger {
+  std::int32_t threshold = 6;
+  bool statistical = false;
+  std::int32_t window = 4;
+
+  /// True when a packet consulting counter value `counter` should misroute.
+  /// Statistical mode ramps the misrouting probability from ~0 at the
+  /// threshold to 1 at threshold + window, so a wider window keeps a larger
+  /// share of traffic on the minimal path under sustained contention.
+  [[nodiscard]] bool fires(std::int32_t counter, Rng& rng) const {
+    if (counter < threshold) return false;
+    if (!statistical) return true;
+    const std::int32_t w = window < 1 ? 1 : window;
+    if (counter >= threshold + w) return true;
+    return rng.next_bool(static_cast<double>(counter - threshold + 1) /
+                         static_cast<double>(w + 1));
+  }
+};
+
+/// Credit/occupancy trigger used by OLM and the credit half of Hybrid: fires
+/// when a link's buffered phits exceed `fraction` of its capacity.
+struct CreditOccupancyTrigger {
+  double fraction = 0.35;
+
+  [[nodiscard]] bool fires(std::int32_t occupied_phits,
+                           std::int32_t capacity_phits) const {
+    return static_cast<double>(occupied_phits) >=
+           fraction * static_cast<double>(capacity_phits);
+  }
+};
+
+}  // namespace dfsim

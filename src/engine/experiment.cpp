@@ -1,0 +1,110 @@
+#include "engine/experiment.hpp"
+
+namespace dfsim {
+
+SteadyResult run_steady(const SimParams& params, const SteadyOptions& options) {
+  const std::int32_t reps = options.reps < 1 ? 1 : options.reps;
+  SteadyResult acc;
+  for (std::int32_t rep = 0; rep < reps; ++rep) {
+    SimParams p = params;
+    p.seed = params.seed + static_cast<std::uint64_t>(rep) * 7919u;
+    Simulator sim(p);
+    sim.run(options.warmup);
+    sim.begin_measurement();
+    sim.run(options.measure);
+
+    const Simulator::Metrics& m = sim.metrics();
+    acc.latency_avg += m.mean_latency();
+    acc.throughput += sim.throughput();
+    acc.misrouted_fraction += m.misrouted_fraction();
+    acc.local_misrouted_fraction +=
+        m.delivered > 0 ? static_cast<double>(m.local_misrouted) /
+                              static_cast<double>(m.delivered)
+                        : 0.0;
+    acc.minimal_path_fraction += m.minimal_path_fraction();
+    acc.backlog_per_node += sim.backlog_per_node();
+    // metrics() was reset at begin_measurement, so `generated` covers the
+    // measure window only.
+    acc.generated_load +=
+        static_cast<double>(m.generated) *
+        static_cast<double>(p.packet_size_phits) /
+        (static_cast<double>(sim.topology().nodes()) *
+         static_cast<double>(options.measure));
+  }
+  const auto n = static_cast<double>(reps);
+  acc.latency_avg /= n;
+  acc.throughput /= n;
+  acc.misrouted_fraction /= n;
+  acc.local_misrouted_fraction /= n;
+  acc.minimal_path_fraction /= n;
+  acc.backlog_per_node /= n;
+  acc.generated_load /= n;
+  return acc;
+}
+
+TransientResult::TransientResult(Cycle pre, Cycle post)
+    : pre_(pre),
+      post_(post),
+      count_(static_cast<std::size_t>(pre + post), 0),
+      misrouted_(static_cast<std::size_t>(pre + post), 0),
+      latency_sum_(static_cast<std::size_t>(pre + post), 0.0) {}
+
+void TransientResult::record(Cycle birth_rel, Cycle latency, bool misrouted) {
+  if (birth_rel < -pre_ || birth_rel >= post_) return;
+  const std::size_t i = index(birth_rel);
+  ++count_[i];
+  if (misrouted) ++misrouted_[i];
+  latency_sum_[i] += static_cast<double>(latency);
+}
+
+double TransientResult::latency_at(Cycle t, Cycle window) const {
+  const Cycle half = window / 2;
+  const Cycle lo = std::max<Cycle>(-pre_, t - half);
+  const Cycle hi = std::min<Cycle>(post_, t - half + std::max<Cycle>(1, window));
+  std::int64_t n = 0;
+  double sum = 0.0;
+  for (Cycle c = lo; c < hi; ++c) {
+    n += count_[index(c)];
+    sum += latency_sum_[index(c)];
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+double TransientResult::misrouted_pct_at(Cycle t, Cycle window) const {
+  const Cycle half = window / 2;
+  const Cycle lo = std::max<Cycle>(-pre_, t - half);
+  const Cycle hi = std::min<Cycle>(post_, t - half + std::max<Cycle>(1, window));
+  std::int64_t n = 0;
+  std::int64_t mis = 0;
+  for (Cycle c = lo; c < hi; ++c) {
+    n += count_[index(c)];
+    mis += misrouted_[index(c)];
+  }
+  return n > 0 ? 100.0 * static_cast<double>(mis) / static_cast<double>(n)
+               : 0.0;
+}
+
+TransientResult run_transient(const SimParams& params,
+                              const TransientOptions& options) {
+  TransientResult result(options.pre, options.post);
+  const std::int32_t reps = options.reps < 1 ? 1 : options.reps;
+  for (std::int32_t rep = 0; rep < reps; ++rep) {
+    SimParams p = params;
+    p.seed = params.seed + static_cast<std::uint64_t>(rep) * 7919u;
+    p.traffic = options.before;
+    Simulator sim(p);
+    sim.run(options.warmup);
+    sim.enable_delivery_log();
+    sim.run(options.pre);
+    const Cycle switch_cycle = sim.now();
+    sim.set_traffic(options.after);
+    sim.run(options.post + options.drain);
+
+    for (const Simulator::Delivery& d : sim.delivery_log()) {
+      result.record(d.birth - switch_cycle, d.latency, d.misrouted);
+    }
+  }
+  return result;
+}
+
+}  // namespace dfsim

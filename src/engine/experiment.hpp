@@ -1,0 +1,79 @@
+// Steady-state and transient experiment drivers over the Simulator, plus the
+// result structs every figure bench consumes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/simulator.hpp"
+#include "sim/config.hpp"
+#include "util/types.hpp"
+
+namespace dfsim {
+
+struct SteadyOptions {
+  Cycle warmup = 2000;
+  Cycle measure = 3000;
+  std::int32_t reps = 1;
+};
+
+struct SteadyResult {
+  double latency_avg = 0.0;           // cycles, delivered packets
+  double throughput = 0.0;            // accepted phits/node/cycle
+  double misrouted_fraction = 0.0;    // globally misrouted share
+  double local_misrouted_fraction = 0.0;
+  double minimal_path_fraction = 0.0; // delivered fully minimal
+  double backlog_per_node = 0.0;      // injection-queue packets per node
+  double generated_load = 0.0;        // offered load actually generated
+};
+
+/// Runs warmup + measurement (averaged over `reps` seeds).
+[[nodiscard]] SteadyResult run_steady(const SimParams& params,
+                                      const SteadyOptions& options);
+
+// ---------------------------------------------------------------------------
+// Transient experiments (Figures 7-9): traffic switches `before` -> `after`
+// at t=0; deliveries are bucketed by *birth* cycle relative to the switch.
+
+struct TransientOptions {
+  TrafficParams before;
+  TrafficParams after;
+  Cycle warmup = 2000;
+  Cycle pre = 50;    // observed cycles before the switch
+  Cycle post = 250;  // observed cycles after the switch
+  std::int32_t reps = 1;
+  /// Extra cycles simulated past `post` so late-born packets still deliver
+  /// into their birth buckets.
+  Cycle drain = 2000;
+};
+
+class TransientResult {
+ public:
+  TransientResult(Cycle pre, Cycle post);
+
+  /// Mean latency of packets born in [t - window/2, t + window/2).
+  [[nodiscard]] double latency_at(Cycle t, Cycle window) const;
+  /// Percentage of globally misrouted packets born in the same window.
+  [[nodiscard]] double misrouted_pct_at(Cycle t, Cycle window) const;
+
+  void record(Cycle birth_rel, Cycle latency, bool misrouted);
+
+  [[nodiscard]] Cycle pre() const { return pre_; }
+  [[nodiscard]] Cycle post() const { return post_; }
+
+ private:
+  [[nodiscard]] std::size_t index(Cycle t) const {
+    return static_cast<std::size_t>(t + pre_);
+  }
+
+  Cycle pre_;
+  Cycle post_;
+  std::vector<std::int64_t> count_;
+  std::vector<std::int64_t> misrouted_;
+  std::vector<double> latency_sum_;
+};
+
+[[nodiscard]] TransientResult run_transient(const SimParams& params,
+                                            const TransientOptions& options);
+
+}  // namespace dfsim

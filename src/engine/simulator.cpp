@@ -1,0 +1,783 @@
+#include "engine/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dfsim {
+
+namespace {
+
+constexpr std::int16_t kReEvalWait = 4;  // head wait before re-deciding
+
+}  // namespace
+
+Simulator::Simulator(const SimParams& params)
+    : params_(params),
+      topo_(params.topo),
+      counters_(params.topo.routers() * params.topo.radix(),
+                params.routing.counter_saturation),
+      rng_(params.seed) {
+  radix_ = params_.topo.radix();
+  fwd_ = params_.topo.forward_ports();
+  vmax_ = std::max({params_.router.vcs_local, params_.router.vcs_global,
+                    params_.router.vcs_injection});
+  psize_ = std::max(1, params_.packet_size_phits);
+
+  base_trigger_ = ContentionThresholdTrigger{
+      params_.routing.contention_threshold, params_.routing.statistical_trigger,
+      params_.routing.statistical_window};
+  hybrid_trigger_ = ContentionThresholdTrigger{
+      params_.routing.hybrid_contention_threshold, false, 0};
+
+  build_layout();
+
+  if (params_.routing.kind == RoutingKind::kCbEctn) {
+    ectn_.resize(topo_.groups(), params_.topo.a * params_.topo.h);
+  }
+  ectn_bits_per_counter_ = bits_for_value(params_.routing.counter_saturation);
+  ectn_scratch_.assign(static_cast<std::size_t>(params_.topo.h), 0);
+}
+
+void Simulator::build_layout() {
+  const std::int32_t routers = topo_.routers();
+  const std::int32_t a = params_.topo.a;
+  const auto n_q = static_cast<std::size_t>(routers) *
+                   static_cast<std::size_t>(radix_) *
+                   static_cast<std::size_t>(vmax_);
+
+  q_offset_.assign(n_q, 0);
+  q_cap_.assign(n_q, 0);
+  q_head_.assign(n_q, 0);
+  q_size_.assign(n_q, 0);
+  q_free_.assign(n_q, 0);
+  q_counted_.assign(n_q, -1);
+  q_request_.assign(n_q, -1);
+  q_wait_.assign(n_q, 0);
+
+  const std::int32_t cap_local =
+      std::max(1, params_.router.buf_local_phits / psize_);
+  const std::int32_t cap_global =
+      std::max(1, params_.router.buf_global_phits / psize_);
+  const std::int32_t cap_inj = params_.router.injection_queue_packets;
+
+  std::int32_t offset = 0;
+  for (RouterId r = 0; r < routers; ++r) {
+    for (PortIndex ip = 0; ip < radix_; ++ip) {
+      for (VcIndex vc = 0; vc < vmax_; ++vc) {
+        const std::int32_t q = queue_index(r, ip, vc);
+        std::int32_t cap = 0;
+        if (ip < a - 1) {
+          if (vc < params_.router.vcs_local) cap = cap_local;
+        } else if (ip < fwd_) {
+          if (vc < params_.router.vcs_global) cap = cap_global;
+        } else {
+          if (vc < params_.router.vcs_injection) cap = cap_inj;
+        }
+        q_offset_[static_cast<std::size_t>(q)] = offset;
+        q_cap_[static_cast<std::size_t>(q)] = cap;
+        q_free_[static_cast<std::size_t>(q)] = cap;
+        offset += cap;
+      }
+    }
+  }
+  slab_.assign(static_cast<std::size_t>(offset), kInvalidPacket);
+
+  // Output-side tables.
+  const auto n_out = static_cast<std::size_t>(routers) *
+                     static_cast<std::size_t>(radix_);
+  out_busy_until_.assign(n_out, 0);
+  down_queue_base_.assign(n_out, -1);
+  link_delay_.assign(n_out, 0);
+  for (RouterId r = 0; r < routers; ++r) {
+    for (PortIndex port = 0; port < fwd_; ++port) {
+      const std::size_t idx = static_cast<std::size_t>(flat_port(r, port));
+      const RouterId peer = topo_.peer(r, port);
+      const PortIndex peer_port = topo_.peer_port(r, port);
+      down_queue_base_[idx] = queue_index(peer, peer_port, 0);
+      const std::int32_t lat = port < a - 1 ? params_.link.local_latency
+                                            : params_.link.global_latency;
+      link_delay_[idx] = params_.router.pipeline_cycles + lat + psize_;
+    }
+  }
+
+  // Allocators and request scratch.
+  allocators_.reserve(static_cast<std::size_t>(routers));
+  for (RouterId r = 0; r < routers; ++r) {
+    allocators_.emplace_back(radix_, radix_, vmax_);
+  }
+  request_scratch_.resize(static_cast<std::size_t>(radix_));
+  for (auto& reqs : request_scratch_) {
+    reqs.reserve(static_cast<std::size_t>(vmax_));
+  }
+
+  // Per-link in-flight rings: sends on a link are spaced >= psize cycles
+  // apart and stay on it for link_delay cycles, so delay/psize + 2 slots is
+  // a strict capacity bound.
+  ring_offset_.assign(n_out, 0);
+  ring_cap_.assign(n_out, 0);
+  ring_head_.assign(n_out, 0);
+  ring_count_.assign(n_out, 0);
+  std::int32_t ring_total = 0;
+  for (RouterId r = 0; r < routers; ++r) {
+    for (PortIndex port = 0; port < fwd_; ++port) {
+      const std::size_t idx = static_cast<std::size_t>(flat_port(r, port));
+      const std::int32_t cap = link_delay_[idx] / psize_ + 2;
+      ring_offset_[idx] = ring_total;
+      ring_cap_[idx] = cap;
+      ring_total += cap;
+    }
+  }
+  ring_slab_.assign(static_cast<std::size_t>(ring_total), LinkEvent{});
+
+  // Preallocate the packet pool to its structural upper bound: every packet
+  // is either in some queue slot or on some link ring.
+  pool_.reserve(slab_.size() + static_cast<std::size_t>(ring_total));
+}
+
+// ---------------------------------------------------------------------------
+// Queue primitives
+
+void Simulator::push_queue(std::int32_t q, std::int32_t packet) {
+  const auto qi = static_cast<std::size_t>(q);
+  assert(q_size_[qi] < q_cap_[qi]);
+  const std::int32_t slot =
+      q_offset_[qi] + (q_head_[qi] + q_size_[qi]) % q_cap_[qi];
+  slab_[static_cast<std::size_t>(slot)] = packet;
+  if (++q_size_[qi] == 1) on_new_head(q);
+}
+
+std::int32_t Simulator::pop_queue(std::int32_t q) {
+  const auto qi = static_cast<std::size_t>(q);
+  assert(q_size_[qi] > 0);
+  const std::int32_t packet =
+      slab_[static_cast<std::size_t>(q_offset_[qi] + q_head_[qi])];
+  q_head_[qi] = (q_head_[qi] + 1) % q_cap_[qi];
+  --q_size_[qi];
+  ++q_free_[qi];
+  if (q_size_[qi] > 0) on_new_head(q);
+  return packet;
+}
+
+void Simulator::on_new_head(std::int32_t q) {
+  const auto qi = static_cast<std::size_t>(q);
+  const RouterId r = q / (radix_ * vmax_);
+  const PortIndex ip = (q / vmax_) % radix_;
+  const std::int32_t packet =
+      slab_[static_cast<std::size_t>(q_offset_[qi] + q_head_[qi])];
+
+  if (ip >= fwd_ &&
+      !(pool_.flags[static_cast<std::size_t>(packet)] & PacketPool::kRouted)) {
+    decide_injection(r, packet);
+  }
+  maybe_transit_misroute(r, q, packet);
+
+  const PortIndex counted =
+      topo_.minimal_output(r, pool_.dst[static_cast<std::size_t>(packet)]);
+  q_counted_[qi] = static_cast<std::int16_t>(counted);
+  q_request_[qi] = static_cast<std::int16_t>(route_output(r, packet));
+  q_wait_[qi] = 0;
+  counters_.on_head(flat_port(r, counted));
+}
+
+// ---------------------------------------------------------------------------
+// Routing decisions
+
+PortIndex Simulator::route_output(RouterId r, std::int32_t packet) const {
+  const auto pi = static_cast<std::size_t>(packet);
+  if (pool_.flags[pi] & PacketPool::kPhase0) {
+    const RouterId gateway = pool_.target_router[pi];
+    if (r == gateway) return pool_.via_port[pi];
+    return topo_.local_port_to(r, gateway);
+  }
+  return topo_.minimal_output(r, pool_.dst[pi]);
+}
+
+std::int32_t Simulator::occupancy_phits(RouterId r, PortIndex out) const {
+  if (out >= fwd_) return 0;  // ejection: modeled as an ideal sink
+  const std::int32_t base =
+      down_queue_base_[static_cast<std::size_t>(flat_port(r, out))];
+  std::int32_t occupied = 0;
+  for (VcIndex vc = 0; vc < vmax_; ++vc) {
+    const auto qi = static_cast<std::size_t>(base + vc);
+    occupied += q_cap_[qi] - q_free_[qi];
+  }
+  return occupied * psize_;
+}
+
+std::int32_t Simulator::port_capacity_phits(PortIndex out) const {
+  // Reference capacity for occupancy-fraction triggers: a single VC buffer.
+  // Traffic on a link concentrates in its hop-class VC, so fractions of the
+  // all-VC capacity would almost never be reached.
+  if (out < params_.topo.a - 1) {
+    return std::max(psize_, params_.router.buf_local_phits);
+  }
+  if (out < fwd_) {
+    return std::max(psize_, params_.router.buf_global_phits);
+  }
+  return psize_;
+}
+
+Cycle Simulator::min_latency_estimate(RouterId r, RouterId dr) const {
+  if (r == dr) return 0;
+  const GroupId g = topo_.group_of(r);
+  const GroupId gd = topo_.group_of(dr);
+  if (g == gd) return params_.link.local_latency;
+  Cycle total = 0;
+  const RouterId gateway = topo_.minimal_global_source(g, gd);
+  if (r != gateway) total += params_.link.local_latency;
+  total += params_.link.global_latency;
+  const RouterId entry =
+      topo_.peer(gateway, topo_.minimal_global_port(g, gd));
+  if (entry != dr) total += params_.link.local_latency;
+  return total;
+}
+
+VcIndex Simulator::vc_for_hop(PortIndex out, std::int8_t g_hops) const {
+  if (out < params_.topo.a - 1) {
+    return std::min<std::int32_t>(g_hops, params_.router.vcs_local - 1);
+  }
+  return std::min<std::int32_t>(g_hops, params_.router.vcs_global - 1);
+}
+
+std::int32_t Simulator::pick_misroute_channel(RouterId r, GroupId dest_group,
+                                              bool use_snapshot,
+                                              bool use_occupancy) {
+  const GroupId g = topo_.group_of(r);
+  const std::int32_t a = params_.topo.a;
+  const std::int32_t h = params_.topo.h;
+  const std::int32_t channels = a * h;
+  const std::int32_t jmin = dest_group < g ? dest_group : dest_group - 1;
+
+  const bool crg = params_.routing.global_policy == GlobalMisroutePolicy::kCrg;
+  const std::int32_t lr = topo_.local_index(r);
+  const std::int32_t pool_size = crg ? h : channels;
+  if (pool_size <= 1 && crg && lr * h == jmin) return -1;
+
+  std::int32_t best = -1;
+  std::int64_t best_score = 0;
+  const std::int32_t samples = std::min<std::int32_t>(4, pool_size);
+  for (std::int32_t s = 0; s < samples; ++s) {
+    std::int32_t j = crg ? lr * h + static_cast<std::int32_t>(
+                                        rng_.next_below(
+                                            static_cast<std::uint64_t>(h)))
+                         : static_cast<std::int32_t>(rng_.next_below(
+                               static_cast<std::uint64_t>(channels)));
+    if (j == jmin) continue;
+    const RouterId gateway = g * a + j / h;
+    const PortIndex via = (a - 1) + j % h;
+    const PortIndex first_hop =
+        gateway == r ? via : topo_.local_port_to(r, gateway);
+    std::int64_t score = counters_.value(flat_port(r, first_hop));
+    if (use_snapshot) score += ectn_.value(g, j);
+    if (use_occupancy) score += occupancy_phits(r, first_hop) / psize_;
+    if (best < 0 || score < best_score) {
+      best = j;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+bool Simulator::ugal_prefers_misroute(RouterId r, std::int32_t packet,
+                                      std::int32_t channel, bool global_info) {
+  const auto pi = static_cast<std::size_t>(packet);
+  const NodeId d = pool_.dst[pi];
+  const RouterId dr = topo_.router_of_node(d);
+  const GroupId g = topo_.group_of(r);
+  const GroupId gd = topo_.group_of(dr);
+  const std::int32_t a = params_.topo.a;
+  const std::int32_t h = params_.topo.h;
+
+  const PortIndex min_port = topo_.minimal_output(r, d);
+  std::int64_t q_min = occupancy_phits(r, min_port);
+  const Cycle h_min = std::max<Cycle>(1, min_latency_estimate(r, dr));
+
+  const RouterId gateway = g * a + channel / h;
+  const PortIndex via = (a - 1) + channel % h;
+  const PortIndex first_hop =
+      gateway == r ? via : topo_.local_port_to(r, gateway);
+  std::int64_t q_val = occupancy_phits(r, first_hop);
+  const RouterId entry = topo_.peer(gateway, via);
+  Cycle h_val = params_.link.global_latency +
+                min_latency_estimate(entry, dr);
+  if (gateway != r) h_val += params_.link.local_latency;
+
+  if (global_info) {
+    // Add the remote global-channel queues — unless the deciding router is
+    // itself the gateway, in which case the first-hop term above already
+    // covers that channel.
+    const RouterId min_gw = topo_.minimal_global_source(g, gd);
+    if (min_gw != r) {
+      q_min += occupancy_phits(min_gw, topo_.minimal_global_port(g, gd));
+    }
+    if (gateway != r) q_val += occupancy_phits(gateway, via);
+  }
+  const std::int64_t threshold =
+      static_cast<std::int64_t>(params_.routing.pb_ugal_threshold) * psize_;
+  return q_min * h_min > q_val * h_val + threshold * h_min;
+}
+
+void Simulator::apply_global_misroute(RouterId r, std::int32_t packet,
+                                      std::int32_t channel) {
+  const auto pi = static_cast<std::size_t>(packet);
+  const GroupId g = topo_.group_of(r);
+  const std::int32_t a = params_.topo.a;
+  const std::int32_t h = params_.topo.h;
+  pool_.flags[pi] |= PacketPool::kMisGlobal | PacketPool::kPhase0;
+  pool_.target_router[pi] = g * a + channel / h;
+  pool_.via_port[pi] = static_cast<std::int16_t>((a - 1) + channel % h);
+}
+
+void Simulator::decide_injection(RouterId r, std::int32_t packet) {
+  const auto pi = static_cast<std::size_t>(packet);
+  pool_.flags[pi] |= PacketPool::kRouted;
+  const NodeId d = pool_.dst[pi];
+  const RouterId dr = topo_.router_of_node(d);
+  pool_.target_router[pi] = dr;
+
+  const RoutingKind kind = params_.routing.kind;
+  if (kind == RoutingKind::kMin || (pool_.flags[pi] & PacketPool::kInorder)) {
+    return;
+  }
+  const GroupId g = topo_.group_of(r);
+  const GroupId gd = topo_.group_of(dr);
+  if (g == gd) return;  // intra-group traffic stays minimal
+
+  const std::int32_t jmin = gd < g ? gd : gd - 1;
+
+  switch (kind) {
+    case RoutingKind::kValiant: {
+      const std::int32_t channels = params_.topo.a * params_.topo.h;
+      std::int32_t j = static_cast<std::int32_t>(
+          rng_.next_below(static_cast<std::uint64_t>(channels - 1)));
+      if (j >= jmin) ++j;
+      apply_global_misroute(r, packet, j);
+      return;
+    }
+    case RoutingKind::kUgalL:
+    case RoutingKind::kUgalG: {
+      const std::int32_t j = pick_misroute_channel(r, gd, false, true);
+      if (j >= 0 &&
+          ugal_prefers_misroute(r, packet, j, kind == RoutingKind::kUgalG)) {
+        apply_global_misroute(r, packet, j);
+      }
+      return;
+    }
+    case RoutingKind::kPiggyback: {
+      // Remote link-state flag for the minimal global channel (piggybacked
+      // state in the paper; read directly here) OR the local UGAL estimate.
+      const RouterId min_gw = topo_.minimal_global_source(g, gd);
+      const PortIndex min_gp = topo_.minimal_global_port(g, gd);
+      const bool min_congested =
+          credit_fires(min_gw, min_gp, params_.routing.olm_credit_fraction);
+      const std::int32_t j = pick_misroute_channel(r, gd, false, true);
+      if (j >= 0 && (min_congested ||
+                     ugal_prefers_misroute(r, packet, j, false))) {
+        apply_global_misroute(r, packet, j);
+      }
+      return;
+    }
+    case RoutingKind::kOlm:
+    case RoutingKind::kCbBase:
+    case RoutingKind::kCbHybrid:
+    case RoutingKind::kCbEctn:
+      // MM+L in-transit mechanisms: the head-event hook
+      // (maybe_transit_misroute) decides at injection and at every router of
+      // the source group, so backlogged minimal-committed packets can still
+      // divert when the gateway's counters are hot.
+      return;
+    case RoutingKind::kMin:
+      return;
+  }
+}
+
+void Simulator::maybe_transit_misroute(RouterId r, std::int32_t q,
+                                       std::int32_t packet) {
+  const RoutingKind kind = params_.routing.kind;
+  if (kind != RoutingKind::kOlm && kind != RoutingKind::kCbBase &&
+      kind != RoutingKind::kCbHybrid && kind != RoutingKind::kCbEctn) {
+    return;
+  }
+  const auto pi = static_cast<std::size_t>(packet);
+  const std::uint8_t flags = pool_.flags[pi];
+  if (flags & (PacketPool::kMisGlobal | PacketPool::kInorder)) return;
+  if (pool_.g_hops[pi] != 0) return;  // source group only
+  const NodeId d = pool_.dst[pi];
+  const RouterId dr = topo_.router_of_node(d);
+  const GroupId g = topo_.group_of(r);
+  const GroupId gd = topo_.group_of(dr);
+  if (gd == g) return;
+
+  const PortIndex mp = topo_.minimal_output(r, d);
+  bool fire = false;
+  bool use_snapshot = false;
+  bool use_occupancy = false;
+  switch (kind) {
+    case RoutingKind::kOlm: {
+      // Opportunistic: misroute when the minimal output is actually out of
+      // credits (blocked) or, on the large global buffers, past the
+      // occupancy fraction. Credit exhaustion is what ties OLM's response
+      // time to the buffer depth (Figure 8).
+      const VcIndex vcn = vc_for_hop(mp, pool_.g_hops[pi]);
+      const std::int32_t down =
+          down_queue_base_[static_cast<std::size_t>(flat_port(r, mp))] + vcn;
+      const bool blocked = q_free_[static_cast<std::size_t>(down)] <= 0;
+      const bool deep = mp >= params_.topo.a - 1 &&
+                        credit_fires(r, mp, params_.routing.olm_credit_fraction);
+      fire = blocked || deep;
+      use_occupancy = true;
+      break;
+    }
+    case RoutingKind::kCbBase:
+      fire = base_trigger_.fires(counters_.value(flat_port(r, mp)), rng_);
+      break;
+    case RoutingKind::kCbHybrid: {
+      // Base's full-threshold trigger, plus an earlier escape hatch when a
+      // lower contention threshold and credit occupancy agree — misroutes a
+      // little sooner than Base, never less.
+      const std::int32_t counter = counters_.value(flat_port(r, mp));
+      fire = base_trigger_.fires(counter, rng_) ||
+             (hybrid_trigger_.fires(counter, rng_) &&
+              credit_fires(r, mp, params_.routing.hybrid_credit_fraction));
+      use_occupancy = true;
+      break;
+    }
+    case RoutingKind::kCbEctn: {
+      const std::int32_t own = counters_.value(flat_port(r, mp));
+      const std::int32_t jmin = gd < g ? gd : gd - 1;
+      fire = base_trigger_.fires(own, rng_) ||
+             own + ectn_.value(g, jmin) >=
+                 params_.routing.ectn_combined_threshold;
+      use_snapshot = true;
+      break;
+    }
+    default:
+      break;
+  }
+  if (!fire) return;
+
+  const std::int32_t j =
+      pick_misroute_channel(r, gd, use_snapshot, use_occupancy);
+  if (j < 0) return;
+  apply_global_misroute(r, packet, j);
+  q_request_[static_cast<std::size_t>(q)] =
+      static_cast<std::int16_t>(route_output(r, packet));
+}
+
+void Simulator::maybe_local_detour(RouterId r, std::int32_t q) {
+  if (!params_.routing.allow_local_misroute) return;
+  const RoutingKind kind = params_.routing.kind;
+  if (kind != RoutingKind::kOlm && kind != RoutingKind::kCbBase &&
+      kind != RoutingKind::kCbHybrid && kind != RoutingKind::kCbEctn) {
+    return;
+  }
+  const auto qi = static_cast<std::size_t>(q);
+  const PortIndex rp = q_request_[qi];
+  if (rp < 0 || rp >= params_.topo.a - 1) return;  // local hops only
+  const std::int32_t packet =
+      slab_[static_cast<std::size_t>(q_offset_[qi] + q_head_[qi])];
+  const auto pi = static_cast<std::size_t>(packet);
+  if (pool_.flags[pi] & (PacketPool::kDetoured | PacketPool::kInorder)) return;
+
+  bool triggered;
+  if (kind == RoutingKind::kOlm) {
+    triggered = credit_fires(r, rp, params_.routing.olm_credit_fraction);
+  } else {
+    triggered = base_trigger_.fires(counters_.value(flat_port(r, rp)), rng_);
+  }
+  if (!triggered) return;
+
+  // Pick a random alternative local port with a free link and credits.
+  const std::int32_t locals = params_.topo.a - 1;
+  const VcIndex vcn = vc_for_hop(0, pool_.g_hops[pi]);
+  for (std::int32_t attempt = 0; attempt < 4; ++attempt) {
+    const auto ap = static_cast<PortIndex>(
+        rng_.next_below(static_cast<std::uint64_t>(locals)));
+    if (ap == rp) continue;
+    const std::size_t flat = static_cast<std::size_t>(flat_port(r, ap));
+    if (out_busy_until_[flat] > now_) continue;
+    if (q_free_[static_cast<std::size_t>(down_queue_base_[flat] + vcn)] <= 1) {
+      continue;  // require slack so detours do not fill the last slot
+    }
+    q_request_[qi] = static_cast<std::int16_t>(ap);
+    pool_.flags[pi] |= PacketPool::kMisLocal | PacketPool::kDetoured;
+    return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-cycle phases
+
+void Simulator::deliver_arrivals() {
+  // Per-link FIFO rings: arrivals on a link are strictly increasing and
+  // spaced >= psize cycles, so only the front entry can be due.
+  const std::size_t n_out = ring_cap_.size();
+  for (std::size_t l = 0; l < n_out; ++l) {
+    if (ring_count_[l] == 0) continue;
+    const LinkEvent& ev =
+        ring_slab_[static_cast<std::size_t>(ring_offset_[l] + ring_head_[l])];
+    if (ev.arrival != now_) continue;
+    const std::int32_t packet = ev.packet;
+    const std::int32_t down = ev.down_queue;
+    ring_head_[l] = (ring_head_[l] + 1) % ring_cap_[l];
+    --ring_count_[l];
+    push_queue(down, packet);
+  }
+}
+
+void Simulator::inject_traffic() {
+  const double prob = params_.traffic.load / static_cast<double>(psize_);
+  const std::int32_t nodes = topo_.nodes();
+  const std::int32_t groups = topo_.groups();
+  const std::int32_t nodes_per_group = params_.topo.a * params_.topo.p;
+
+  for (NodeId n = 0; n < nodes; ++n) {
+    if (!rng_.next_bool(prob)) continue;
+    ++metrics_.generated;
+
+    const RouterId r = topo_.router_of_node(n);
+    const PortIndex ip = fwd_ + (n % params_.topo.p);
+    const std::int32_t q = queue_index(r, ip, 0);
+    if (q_free_[static_cast<std::size_t>(q)] <= 0) {
+      ++metrics_.refused;
+      continue;
+    }
+
+    // Destination per pattern.
+    bool uniform = params_.traffic.kind == TrafficKind::kUniform;
+    if (params_.traffic.kind == TrafficKind::kMixed) {
+      uniform = rng_.next_bool(params_.traffic.mixed_uniform_fraction);
+    }
+    NodeId dest;
+    if (uniform) {
+      dest = static_cast<NodeId>(
+          rng_.next_below(static_cast<std::uint64_t>(nodes - 1)));
+      if (dest >= n) ++dest;
+    } else {
+      const GroupId g = topo_.group_of(r);
+      const GroupId gd =
+          (g + params_.traffic.adv_offset % groups + groups) % groups;
+      dest = gd * nodes_per_group +
+             static_cast<NodeId>(rng_.next_below(
+                 static_cast<std::uint64_t>(nodes_per_group)));
+    }
+
+    const std::int32_t packet = pool_.allocate();
+    pool_.reset_packet(packet);
+    const auto pi = static_cast<std::size_t>(packet);
+    pool_.src[pi] = n;
+    pool_.dst[pi] = dest;
+    pool_.birth[pi] = now_;
+    if (params_.traffic.inorder_fraction > 0.0 &&
+        rng_.next_bool(params_.traffic.inorder_fraction)) {
+      pool_.flags[pi] |= PacketPool::kInorder;
+    }
+    --q_free_[static_cast<std::size_t>(q)];
+    push_queue(q, packet);
+  }
+}
+
+void Simulator::route_and_allocate() {
+  const std::int32_t routers = topo_.routers();
+  for (RouterId r = 0; r < routers; ++r) {
+    bool any_request = false;
+    for (PortIndex ip = 0; ip < radix_; ++ip) {
+      auto& reqs = request_scratch_[static_cast<std::size_t>(ip)];
+      reqs.clear();
+      for (VcIndex vc = 0; vc < vmax_; ++vc) {
+        const std::int32_t q = queue_index(r, ip, vc);
+        const auto qi = static_cast<std::size_t>(q);
+        if (q_size_[qi] == 0) continue;
+
+        if (q_wait_[qi] >= kReEvalWait &&
+            (q_wait_[qi] - kReEvalWait) % 8 == 0) {
+          // The head has been blocked for a while: re-evaluate in-transit
+          // global misrouting and consider an opportunistic local detour.
+          const std::int32_t packet = slab_[static_cast<std::size_t>(
+              q_offset_[qi] + q_head_[qi])];
+          maybe_transit_misroute(r, q, packet);
+          maybe_local_detour(r, q);
+        }
+        ++q_wait_[qi];
+
+        const PortIndex out = q_request_[qi];
+        const std::size_t flat = static_cast<std::size_t>(flat_port(r, out));
+        if (out_busy_until_[flat] > now_) continue;
+        if (out < fwd_) {
+          const std::int32_t packet = slab_[static_cast<std::size_t>(
+              q_offset_[qi] + q_head_[qi])];
+          const VcIndex vcn =
+              vc_for_hop(out, pool_.g_hops[static_cast<std::size_t>(packet)]);
+          if (q_free_[static_cast<std::size_t>(down_queue_base_[flat] +
+                                               vcn)] <= 0) {
+            continue;
+          }
+        }
+        reqs.push_back(AllocRequest{vc, out});
+        any_request = true;
+      }
+    }
+    if (!any_request) continue;
+
+    SeparableAllocator& alloc = allocators_[static_cast<std::size_t>(r)];
+    alloc.begin_cycle();
+    for (std::int32_t it = 0; it < params_.router.speedup; ++it) {
+      if (alloc.iterate(request_scratch_).empty() && it > 0) break;
+    }
+    for (const AllocGrant& grant : alloc.cycle_grants()) {
+      depart(r, grant);
+    }
+  }
+}
+
+void Simulator::depart(RouterId r, const AllocGrant& grant) {
+  const std::int32_t q = queue_index(r, grant.in, grant.vc);
+  const auto qi = static_cast<std::size_t>(q);
+  const std::int16_t counted = q_counted_[qi];
+  const std::int32_t packet = pop_queue(q);
+  counters_.on_tail_departure(flat_port(r, counted));
+
+  const PortIndex out = grant.out;
+  const std::size_t flat = static_cast<std::size_t>(flat_port(r, out));
+  out_busy_until_[flat] = now_ + psize_;
+
+  if (out >= fwd_) {
+    deliver(r, packet);
+    return;
+  }
+
+  const auto pi = static_cast<std::size_t>(packet);
+  const VcIndex vcn = vc_for_hop(out, pool_.g_hops[pi]);
+  const std::int32_t down = down_queue_base_[flat] + vcn;
+  --q_free_[static_cast<std::size_t>(down)];
+
+  if (out >= params_.topo.a - 1) {
+    // Global hop: advance the VC class, close any phase-0 detour, and allow
+    // a fresh local detour in the next group.
+    ++pool_.g_hops[pi];
+    pool_.flags[pi] &= static_cast<std::uint8_t>(~PacketPool::kDetoured);
+    if (pool_.flags[pi] & PacketPool::kPhase0) {
+      pool_.flags[pi] &= static_cast<std::uint8_t>(~PacketPool::kPhase0);
+      pool_.target_router[pi] =
+          topo_.router_of_node(pool_.dst[pi]);
+    }
+  }
+
+  assert(ring_count_[flat] < ring_cap_[flat]);
+  const std::int32_t slot =
+      ring_offset_[flat] + (ring_head_[flat] + ring_count_[flat]) %
+                               ring_cap_[flat];
+  ring_slab_[static_cast<std::size_t>(slot)] =
+      LinkEvent{now_ + link_delay_[flat], packet, down};
+  ++ring_count_[flat];
+}
+
+void Simulator::deliver(RouterId r, std::int32_t packet) {
+  (void)r;
+  const auto pi = static_cast<std::size_t>(packet);
+  const Cycle latency =
+      now_ + params_.router.pipeline_cycles + psize_ - pool_.birth[pi];
+  const std::uint8_t flags = pool_.flags[pi];
+  const bool mis_global = (flags & PacketPool::kMisGlobal) != 0;
+  const bool mis_local = (flags & PacketPool::kMisLocal) != 0;
+
+  ++metrics_.delivered;
+  metrics_.delivered_phits += psize_;
+  metrics_.latency_sum += static_cast<double>(latency);
+  if (mis_global) ++metrics_.misrouted;
+  if (mis_local) ++metrics_.local_misrouted;
+  if (!mis_global && !mis_local) ++metrics_.minimal_path;
+
+  if (log_deliveries_) {
+    if (deliveries_.size() == deliveries_.capacity()) ++log_growth_;
+    deliveries_.push_back(Delivery{pool_.birth[pi], latency, mis_global,
+                                   !mis_global && !mis_local});
+  }
+  pool_.release(packet);
+}
+
+void Simulator::update_ectn() {
+  const Cycle period = params_.routing.ectn_update_period;
+  if (period <= 0 || now_ % period != 0) return;
+  const bool want_snapshot = params_.routing.kind == RoutingKind::kCbEctn;
+  if (!want_snapshot && !ectn_monitor_enabled_) return;
+
+  const std::int32_t a = params_.topo.a;
+  const std::int32_t h = params_.topo.h;
+  for (RouterId r = 0; r < topo_.routers(); ++r) {
+    const GroupId g = topo_.group_of(r);
+    const std::int32_t lr = topo_.local_index(r);
+    for (PortIndex gp = 0; gp < h; ++gp) {
+      const auto value = static_cast<std::int16_t>(
+          counters_.value(flat_port(r, (a - 1) + gp)));
+      if (want_snapshot) ectn_.set(g, lr * h + gp, value);
+      ectn_scratch_[static_cast<std::size_t>(gp)] = value;
+    }
+    if (ectn_monitor_enabled_) {
+      ectn_monitor_.on_update(r, ectn_scratch_.data());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Public driver
+
+void Simulator::step() {
+  deliver_arrivals();
+  inject_traffic();
+  update_ectn();
+  route_and_allocate();
+  ++now_;
+}
+
+void Simulator::run(Cycle cycles) {
+  for (Cycle i = 0; i < cycles; ++i) step();
+}
+
+void Simulator::begin_measurement() {
+  metrics_ = Metrics{};
+  measure_start_ = now_;
+}
+
+double Simulator::throughput() const {
+  const Cycle cycles = measured_cycles();
+  if (cycles <= 0) return 0.0;
+  return static_cast<double>(metrics_.delivered_phits) /
+         (static_cast<double>(topo_.nodes()) * static_cast<double>(cycles));
+}
+
+double Simulator::backlog_per_node() const {
+  std::int64_t waiting = 0;
+  for (RouterId r = 0; r < topo_.routers(); ++r) {
+    for (std::int32_t i = 0; i < params_.topo.p; ++i) {
+      waiting += q_size_[static_cast<std::size_t>(
+          queue_index(r, fwd_ + i, 0))];
+    }
+  }
+  return static_cast<double>(waiting) / static_cast<double>(topo_.nodes());
+}
+
+void Simulator::set_traffic(const TrafficParams& traffic) {
+  params_.traffic = traffic;
+}
+
+void Simulator::enable_delivery_log() {
+  log_deliveries_ = true;
+  deliveries_.clear();
+}
+
+void Simulator::enable_ectn_monitor(std::int32_t async_mult,
+                                    std::int32_t urgent_delta) {
+  const std::int32_t channels = params_.topo.a * params_.topo.h;
+  const std::int32_t id_bits = bits_for_value(channels - 1);
+  ectn_monitor_.configure(topo_.routers(), params_.topo.h,
+                          ectn_bits_per_counter_, id_bits, async_mult,
+                          urgent_delta);
+  ectn_monitor_enabled_ = true;
+}
+
+std::int64_t Simulator::allocation_events() const {
+  return pool_.grow_events + log_growth_;
+}
+
+}  // namespace dfsim

@@ -1,0 +1,230 @@
+// Cycle-driven dragonfly simulator with flat (structure-of-arrays) state.
+//
+// Model summary
+//  - Packet granularity, virtual cut-through-ish: a packet occupies its link
+//    for packet_size cycles and arrives whole after link latency + router
+//    pipeline + serialization.
+//  - Input-queued routers: per (port, VC) fixed-capacity rings over one
+//    shared slab; credits are tracked as free slots (reserved at grant time,
+//    returned when the packet moves on downstream).
+//  - A separable input-first allocator arbitrates the crossbar each cycle;
+//    the router frequency speedup of Table I is modeled as extra allocator
+//    iterations per cycle.
+//  - Contention counters track, per output port, how many packet heads'
+//    *minimal* route uses that port — deliberately independent of the actual
+//    routing decision (the property behind the paper's Figure 9).
+//  - Global misrouting is decided at injection (CB/UGAL/PB/VAL) or in
+//    transit at the gateway (OLM); opportunistic local misrouting diverts a
+//    blocked head one extra local hop.
+//
+// After warmup the steady-state step performs zero heap allocations: packets
+// come from a pooled free list, queues and scratch are preallocated, and the
+// event calendar reuses its buckets. `allocation_events()` exposes every
+// growth event so tests can verify this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/contention_counters.hpp"
+#include "core/ectn_state.hpp"
+#include "core/triggers.hpp"
+#include "engine/packet_pool.hpp"
+#include "router/allocator.hpp"
+#include "sim/config.hpp"
+#include "topo/dragonfly.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace dfsim {
+
+class Simulator {
+ public:
+  struct Delivery {
+    Cycle birth = 0;
+    Cycle latency = 0;
+    bool misrouted = false;       // globally misrouted
+    bool minimal_path = false;    // no global and no local misroute
+  };
+
+  struct Metrics {
+    std::int64_t delivered = 0;
+    std::int64_t delivered_phits = 0;
+    double latency_sum = 0.0;
+    std::int64_t misrouted = 0;       // global misroutes among delivered
+    std::int64_t local_misrouted = 0;
+    std::int64_t minimal_path = 0;
+    std::int64_t generated = 0;
+    std::int64_t refused = 0;  // generation attempts dropped at a full queue
+
+    [[nodiscard]] double mean_latency() const {
+      return delivered > 0 ? latency_sum / static_cast<double>(delivered) : 0.0;
+    }
+    [[nodiscard]] double misrouted_fraction() const {
+      return delivered > 0
+                 ? static_cast<double>(misrouted) / static_cast<double>(delivered)
+                 : 0.0;
+    }
+    [[nodiscard]] double minimal_path_fraction() const {
+      return delivered > 0 ? static_cast<double>(minimal_path) /
+                                 static_cast<double>(delivered)
+                           : 0.0;
+    }
+  };
+
+  explicit Simulator(const SimParams& params);
+
+  void step();
+  void run(Cycle cycles);
+
+  [[nodiscard]] Cycle now() const { return now_; }
+  [[nodiscard]] const SimParams& params() const { return params_; }
+  [[nodiscard]] const DragonflyTopology& topology() const { return topo_; }
+
+  /// Resets measurement counters; metrics() accumulates from this point.
+  void begin_measurement();
+  [[nodiscard]] const Metrics& metrics() const { return metrics_; }
+  [[nodiscard]] Cycle measured_cycles() const { return now_ - measure_start_; }
+
+  /// Accepted load in phits/node/cycle over the measurement window.
+  [[nodiscard]] double throughput() const;
+  /// Packets waiting in injection queues, per node.
+  [[nodiscard]] double backlog_per_node() const;
+
+  /// Swaps the traffic pattern mid-run (transient experiments).
+  void set_traffic(const TrafficParams& traffic);
+
+  /// Per-delivery records for birth-bucketed transient analysis.
+  void enable_delivery_log();
+  [[nodiscard]] const std::vector<Delivery>& delivery_log() const {
+    return deliveries_;
+  }
+
+  /// Live ECtN broadcast-overhead measurement (Section VI-B ablation).
+  void enable_ectn_monitor(std::int32_t async_mult, std::int32_t urgent_delta);
+  [[nodiscard]] const EctnOverheadMonitor& ectn_monitor() const {
+    return ectn_monitor_;
+  }
+
+  /// Growth/allocation events since construction (pool growth, calendar or
+  /// log growth). Constant across steps == steady state allocates nothing.
+  [[nodiscard]] std::int64_t allocation_events() const;
+  /// Packet-pool heap growths alone (0 == the reserve bound held).
+  [[nodiscard]] std::int64_t pool_grow_events() const {
+    return pool_.grow_events;
+  }
+
+ private:
+  struct LinkEvent {
+    Cycle arrival = 0;
+    std::int32_t packet = kInvalidPacket;
+    std::int32_t down_queue = -1;
+  };
+
+  // --- construction helpers
+  void build_layout();
+
+  // --- per-cycle phases
+  void deliver_arrivals();
+  void inject_traffic();
+  void route_and_allocate();
+  void update_ectn();
+
+  // --- queue helpers (flat queue index q)
+  [[nodiscard]] std::int32_t queue_index(RouterId r, PortIndex in_port,
+                                         VcIndex vc) const {
+    return (r * radix_ + in_port) * vmax_ + vc;
+  }
+  void push_queue(std::int32_t q, std::int32_t packet);
+  std::int32_t pop_queue(std::int32_t q);
+  void on_new_head(std::int32_t q);
+
+  // --- routing
+  void decide_injection(RouterId r, std::int32_t packet);
+  [[nodiscard]] PortIndex route_output(RouterId r, std::int32_t packet) const;
+  void maybe_local_detour(RouterId r, std::int32_t q);
+  void maybe_transit_misroute(RouterId r, std::int32_t q, std::int32_t packet);
+  void apply_global_misroute(RouterId r, std::int32_t packet,
+                             std::int32_t channel);
+  [[nodiscard]] std::int32_t pick_misroute_channel(RouterId r, GroupId dest_group,
+                                                   bool use_snapshot,
+                                                   bool use_occupancy);
+  [[nodiscard]] bool ugal_prefers_misroute(RouterId r, std::int32_t packet,
+                                           std::int32_t channel, bool global_info);
+
+  // --- state probes
+  [[nodiscard]] std::int32_t occupancy_phits(RouterId r, PortIndex out) const;
+  [[nodiscard]] std::int32_t port_capacity_phits(PortIndex out) const;
+  /// Occupancy-fraction credit trigger (OLM/Hybrid/PB and local detours).
+  [[nodiscard]] bool credit_fires(RouterId r, PortIndex out,
+                                  double fraction) const {
+    return CreditOccupancyTrigger{fraction}.fires(occupancy_phits(r, out),
+                                                  port_capacity_phits(out));
+  }
+  [[nodiscard]] Cycle min_latency_estimate(RouterId r, RouterId dr) const;
+  [[nodiscard]] VcIndex vc_for_hop(PortIndex out, std::int8_t g_hops) const;
+  [[nodiscard]] std::int32_t flat_port(RouterId r, PortIndex port) const {
+    return r * radix_ + port;
+  }
+
+  void depart(RouterId r, const AllocGrant& grant);
+  void deliver(RouterId r, std::int32_t packet);
+
+  // --- immutable shape
+  SimParams params_;
+  DragonflyTopology topo_;
+  std::int32_t radix_ = 0;      // input/output ports per router
+  std::int32_t fwd_ = 0;        // forward (link) ports per router
+  std::int32_t vmax_ = 0;       // max VCs across port classes
+  std::int32_t psize_ = 0;      // packet size in phits
+
+  // --- per-queue flat state (size routers * radix * vmax)
+  std::vector<std::int32_t> q_offset_;   // slab offset
+  std::vector<std::int32_t> q_cap_;      // capacity in packets (0 = unused vc)
+  std::vector<std::int32_t> q_head_;
+  std::vector<std::int32_t> q_size_;
+  std::vector<std::int32_t> q_free_;     // credits: cap - size - in-flight
+  std::vector<std::int16_t> q_counted_;  // port counted in contention counters
+  std::vector<std::int16_t> q_request_;  // port requested from the allocator
+  std::vector<std::int16_t> q_wait_;     // cycles the head has waited
+  std::vector<std::int32_t> slab_;       // ring storage for all queues
+
+  // --- per-output flat state (size routers * radix)
+  std::vector<Cycle> out_busy_until_;
+  std::vector<std::int32_t> down_queue_base_;  // downstream (router,port) base
+  std::vector<std::int32_t> link_delay_;       // latency + pipeline
+
+  // --- routers
+  ContentionCounters counters_;  // flat over routers * radix output ports
+  std::vector<SeparableAllocator> allocators_;
+  std::vector<std::vector<AllocRequest>> request_scratch_;
+
+  // --- packets & per-link in-flight rings (fixed capacity: a link carries
+  // at most delay/packet_size + 2 packets at once)
+  PacketPool pool_;
+  std::vector<LinkEvent> ring_slab_;
+  std::vector<std::int32_t> ring_offset_;  // per (router, out port)
+  std::vector<std::int32_t> ring_cap_;
+  std::vector<std::int32_t> ring_head_;
+  std::vector<std::int32_t> ring_count_;
+
+  // --- mechanisms
+  ContentionThresholdTrigger base_trigger_;
+  ContentionThresholdTrigger hybrid_trigger_;
+  EctnSnapshot ectn_;
+  EctnOverheadMonitor ectn_monitor_;
+  bool ectn_monitor_enabled_ = false;
+  std::int32_t ectn_bits_per_counter_ = 4;
+  std::vector<std::int16_t> ectn_scratch_;
+
+  // --- time, traffic, metrics
+  Cycle now_ = 0;
+  Rng rng_;
+  Metrics metrics_;
+  Cycle measure_start_ = 0;
+  bool log_deliveries_ = false;
+  std::vector<Delivery> deliveries_;
+  std::int64_t log_growth_ = 0;
+};
+
+}  // namespace dfsim

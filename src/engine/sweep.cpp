@@ -1,0 +1,44 @@
+#include "engine/sweep.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "util/cli.hpp"
+
+namespace dfsim {
+
+std::vector<SteadyResult> run_sweep(const std::vector<SweepPoint>& points,
+                                    int threads) {
+  std::vector<SteadyResult> results(points.size());
+  if (points.empty()) return results;
+
+  if (threads <= 0) {
+    threads = static_cast<int>(
+        CliOptions::env_int("DFSIM_THREADS",
+                            static_cast<std::int64_t>(
+                                std::thread::hardware_concurrency())));
+  }
+  if (threads < 1) threads = 1;
+  threads = std::min<int>(threads, static_cast<int>(points.size()));
+
+  std::atomic<std::size_t> next{0};
+  auto worker = [&]() {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= points.size()) return;
+      results[i] = run_steady(points[i].params, points[i].options);
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+    return results;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return results;
+}
+
+}  // namespace dfsim

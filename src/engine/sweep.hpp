@@ -1,0 +1,23 @@
+// Parallel sweep engine: every (routing x load) point of a figure is an
+// independent simulation, so they fan out across a std::thread pool. Results
+// come back in input order regardless of scheduling.
+#pragma once
+
+#include <vector>
+
+#include "engine/experiment.hpp"
+#include "sim/config.hpp"
+
+namespace dfsim {
+
+struct SweepPoint {
+  SimParams params;
+  SteadyOptions options;
+};
+
+/// Worker count: explicit argument > $DFSIM_THREADS > hardware concurrency,
+/// clamped to the number of points.
+[[nodiscard]] std::vector<SteadyResult> run_sweep(
+    const std::vector<SweepPoint>& points, int threads = 0);
+
+}  // namespace dfsim

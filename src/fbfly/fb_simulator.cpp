@@ -1,0 +1,357 @@
+#include "fbfly/fb_simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dfsim::fbfly {
+
+std::string to_string(FbRouting routing) {
+  switch (routing) {
+    case FbRouting::kMin: return "MIN";
+    case FbRouting::kValiant: return "VAL";
+    case FbRouting::kUgalQueue: return "UGALq";
+    case FbRouting::kContention: return "CB";
+  }
+  return "?";
+}
+
+std::string to_string(FbTraffic traffic) {
+  switch (traffic) {
+    case FbTraffic::kUniform: return "UN";
+    case FbTraffic::kAdjacent: return "ADJ";
+  }
+  return "?";
+}
+
+FbSimulator::FbSimulator(const FbConfig& config)
+    : config_(config), rng_(config.seed) {
+  routers_ = config_.topo.routers();
+  channels_ = config_.topo.channels();
+  // Auto threshold: 3/4 of the injection heads aligned on one channel. Full
+  // alignment (c) is too strict once deep downstream queues absorb the
+  // backlog; random uniform alignment of 3c/4 heads stays very unlikely.
+  threshold_ = config_.threshold > 0 ? config_.threshold
+                                     : std::max(2, (3 * config_.topo.c) / 4);
+  ugal_threshold_ = config_.ugal_threshold > 0
+                        ? config_.ugal_threshold
+                        : std::max(1, config_.buf_packets / 2);
+
+  source_.resize(static_cast<std::size_t>(config_.topo.nodes()));
+  source_head_.assign(source_.size(), 0);
+  source_decided_.assign(source_.size(), 0);
+  queue_.resize(static_cast<std::size_t>(routers_) *
+                static_cast<std::size_t>(channels_) * 2);
+  queue_head_.assign(queue_.size(), 0);
+  counters_.assign(static_cast<std::size_t>(routers_) *
+                       static_cast<std::size_t>(channels_),
+                   0);
+}
+
+std::int32_t FbSimulator::coord(RouterId r, std::int32_t dim) const {
+  std::int32_t v = r;
+  for (std::int32_t d = 0; d < dim; ++d) v /= config_.topo.k;
+  return v % config_.topo.k;
+}
+
+std::int32_t FbSimulator::channel_to(RouterId r, std::int32_t dim,
+                                     std::int32_t v) const {
+  const std::int32_t own = coord(r, dim);
+  assert(v != own);
+  return dim * (config_.topo.k - 1) + (v < own ? v : v - 1);
+}
+
+std::int32_t FbSimulator::dor_channel(RouterId r, RouterId target) const {
+  if (r == target) return -1;
+  for (std::int32_t dim = 0; dim < config_.topo.n; ++dim) {
+    const std::int32_t cr = coord(r, dim);
+    const std::int32_t ct = coord(target, dim);
+    if (cr != ct) return channel_to(r, dim, ct);
+  }
+  return -1;
+}
+
+RouterId FbSimulator::channel_peer(RouterId r, std::int32_t channel) const {
+  const std::int32_t k = config_.topo.k;
+  const std::int32_t dim = channel / (k - 1);
+  const std::int32_t idx = channel % (k - 1);
+  const std::int32_t own = coord(r, dim);
+  const std::int32_t v = idx < own ? idx : idx + 1;
+  std::int32_t stride = 1;
+  for (std::int32_t d = 0; d < dim; ++d) stride *= k;
+  return r + (v - own) * stride;
+}
+
+std::int32_t FbSimulator::dor_hops(RouterId from, RouterId to) const {
+  std::int32_t hops = 0;
+  for (std::int32_t dim = 0; dim < config_.topo.n; ++dim) {
+    if (coord(from, dim) != coord(to, dim)) ++hops;
+  }
+  return hops;
+}
+
+void FbSimulator::inject() {
+  const std::int32_t nodes = config_.topo.nodes();
+  const std::int32_t c = config_.topo.c;
+  for (NodeId node = 0; node < nodes; ++node) {
+    if (!rng_.next_bool(config_.load)) continue;
+    ++metrics_.generated;
+    auto& src = source_[static_cast<std::size_t>(node)];
+    const auto len = static_cast<std::int32_t>(src.size()) -
+                     source_head_[static_cast<std::size_t>(node)];
+    if (len >= config_.source_queue_packets) {
+      ++metrics_.refused;
+      continue;
+    }
+    Packet packet;
+    packet.birth = now_;
+    const RouterId r = router_of(node);
+    if (config_.traffic == FbTraffic::kUniform) {
+      NodeId dest = static_cast<NodeId>(
+          rng_.next_below(static_cast<std::uint64_t>(nodes - 1)));
+      if (dest >= node) ++dest;
+      packet.dst = dest;
+    } else {
+      // Row adversary: all nodes of router R target router R+1 (mod k) in
+      // dimension 0, funnelling into one direct channel.
+      const std::int32_t k = config_.topo.k;
+      const std::int32_t c0 = coord(r, 0);
+      const RouterId dr = r - c0 + (c0 + 1) % k;
+      packet.dst = dr * c + static_cast<NodeId>(rng_.next_below(
+                                static_cast<std::uint64_t>(c)));
+    }
+    src.push_back(packet);
+  }
+}
+
+void FbSimulator::refresh_counters() {
+  std::fill(counters_.begin(), counters_.end(), std::int16_t{0});
+  const std::int32_t nodes = config_.topo.nodes();
+  for (NodeId node = 0; node < nodes; ++node) {
+    const auto& src = source_[static_cast<std::size_t>(node)];
+    const std::int32_t head = source_head_[static_cast<std::size_t>(node)];
+    if (head >= static_cast<std::int32_t>(src.size())) continue;
+    const Packet& packet = src[static_cast<std::size_t>(head)];
+    const RouterId r = router_of(node);
+    const std::int32_t ch = dor_channel(r, router_of(packet.dst));
+    if (ch >= 0) {
+      ++counters_[static_cast<std::size_t>(r) *
+                      static_cast<std::size_t>(channels_) +
+                  static_cast<std::size_t>(ch)];
+    }
+  }
+}
+
+void FbSimulator::decide(RouterId r, Packet& packet) {
+  const RouterId dr = router_of(packet.dst);
+  if (dr == r || config_.routing == FbRouting::kMin) return;
+
+  auto random_inter = [&]() -> RouterId {
+    for (std::int32_t attempt = 0; attempt < 8; ++attempt) {
+      const auto inter = static_cast<RouterId>(
+          rng_.next_below(static_cast<std::uint64_t>(routers_)));
+      if (inter != r && inter != dr) return inter;
+    }
+    return -1;
+  };
+
+  switch (config_.routing) {
+    case FbRouting::kValiant: {
+      const RouterId inter = random_inter();
+      if (inter >= 0) {
+        packet.inter = inter;
+        packet.misrouted = true;
+      }
+      return;
+    }
+    case FbRouting::kUgalQueue: {
+      const RouterId inter = random_inter();
+      if (inter < 0) return;
+      const std::int32_t ch_min = dor_channel(r, dr);
+      const std::int32_t ch_val = dor_channel(r, inter);
+      if (ch_min < 0 || ch_val < 0) return;
+      const std::int64_t h_min = dor_hops(r, dr);
+      const std::int64_t h_val = dor_hops(r, inter) + dor_hops(inter, dr);
+      const std::int64_t q_min = queue_len(queue_id(r, ch_min, 1));
+      const std::int64_t q_val = queue_len(queue_id(r, ch_val, 0));
+      if (q_min * h_min > q_val * h_val + ugal_threshold_) {
+        packet.inter = inter;
+        packet.misrouted = true;
+      }
+      return;
+    }
+    case FbRouting::kContention: {
+      const std::int32_t ch_min = dor_channel(r, dr);
+      if (ch_min < 0) return;
+      const std::int16_t counter =
+          counters_[static_cast<std::size_t>(r) *
+                        static_cast<std::size_t>(channels_) +
+                    static_cast<std::size_t>(ch_min)];
+      if (counter >= threshold_) {
+        const RouterId inter = random_inter();
+        if (inter >= 0) {
+          packet.inter = inter;
+          packet.misrouted = true;
+        }
+      }
+      return;
+    }
+    case FbRouting::kMin:
+      return;
+  }
+}
+
+void FbSimulator::advance_links() {
+  // Snapshot sizes so a packet moves at most one hop per cycle: a packet
+  // pushed into an empty queue this cycle becomes its head, and must not be
+  // advanced again when that channel's turn comes.
+  const std::size_t n_q = queue_.size();
+  size_snapshot_.resize(n_q);
+  for (std::size_t q = 0; q < n_q; ++q) {
+    size_snapshot_[q] = static_cast<std::int32_t>(queue_[q].size());
+  }
+
+  // One packet per physical channel per cycle; the destination-phase queue
+  // has priority (it drains toward ejection, which keeps the phase order
+  // deadlock-free and live).
+  for (RouterId r = 0; r < routers_; ++r) {
+    for (std::int32_t ch = 0; ch < channels_; ++ch) {
+      for (std::int32_t phase : {1, 0}) {
+        const std::size_t q = queue_id(r, ch, phase);
+        const std::int32_t head = queue_head_[q];
+        if (head >= size_snapshot_[q]) continue;
+        Packet packet = queue_[q][static_cast<std::size_t>(head)];
+        const RouterId peer = channel_peer(r, ch);
+        ++packet.hops;
+        if (packet.inter == peer) packet.inter = -1;
+
+        const RouterId target =
+            packet.inter >= 0 ? packet.inter : router_of(packet.dst);
+        if (peer == target && packet.inter < 0) {
+          ++queue_head_[q];
+          deliver(packet);
+          break;  // channel used this cycle
+        }
+        const std::int32_t next = dor_channel(peer, target);
+        assert(next >= 0);
+        const std::int32_t next_phase = packet.inter >= 0 ? 0 : 1;
+        const std::size_t nq = queue_id(peer, next, next_phase);
+        if (queue_len(nq) >= config_.buf_packets) continue;  // stall; try
+                                                             // the other
+                                                             // phase
+        ++queue_head_[q];
+        queue_[nq].push_back(packet);
+        break;  // channel used this cycle
+      }
+    }
+  }
+
+  // Compact drained queues.
+  for (std::size_t q = 0; q < n_q; ++q) {
+    auto& vec = queue_[q];
+    auto& head = queue_head_[q];
+    if (head > 0 && head >= static_cast<std::int32_t>(vec.size())) {
+      vec.clear();
+      head = 0;
+    } else if (head > 256) {
+      vec.erase(vec.begin(), vec.begin() + head);
+      head = 0;
+    }
+  }
+}
+
+void FbSimulator::move_sources() {
+  const std::int32_t nodes = config_.topo.nodes();
+  for (NodeId node = 0; node < nodes; ++node) {
+    auto& src = source_[static_cast<std::size_t>(node)];
+    auto& head = source_head_[static_cast<std::size_t>(node)];
+    if (head >= static_cast<std::int32_t>(src.size())) continue;
+    Packet& packet = src[static_cast<std::size_t>(head)];
+    const RouterId r = router_of(node);
+
+    if (!source_decided_[static_cast<std::size_t>(node)]) {
+      decide(r, packet);
+      source_decided_[static_cast<std::size_t>(node)] = 1;
+    }
+
+    const RouterId target =
+        packet.inter >= 0 ? packet.inter : router_of(packet.dst);
+    if (target == r && packet.inter < 0) {
+      // Destination attached to the same router.
+      Packet done = packet;
+      ++head;
+      source_decided_[static_cast<std::size_t>(node)] = 0;
+      deliver(done);
+    } else {
+      const std::int32_t ch = dor_channel(r, target);
+      assert(ch >= 0);
+      const std::size_t q = queue_id(r, ch, packet.inter >= 0 ? 0 : 1);
+      if (queue_len(q) >= config_.buf_packets) continue;  // wait at source
+      Packet moving = packet;
+      ++head;
+      source_decided_[static_cast<std::size_t>(node)] = 0;
+      queue_[q].push_back(moving);
+    }
+    if (head > 256) {
+      src.erase(src.begin(), src.begin() + head);
+      head = 0;
+    } else if (head >= static_cast<std::int32_t>(src.size())) {
+      src.clear();
+      head = 0;
+    }
+  }
+}
+
+void FbSimulator::deliver(Packet& packet) {
+  const Cycle latency =
+      (now_ - packet.birth) +
+      static_cast<Cycle>(packet.hops) * config_.hop_latency + 1;
+  ++metrics_.delivered;
+  metrics_.latency_sum += static_cast<double>(latency);
+  if (packet.misrouted) ++metrics_.misrouted;
+  if (log_deliveries_) {
+    deliveries_.push_back(Delivery{packet.birth, latency, packet.misrouted});
+  }
+}
+
+void FbSimulator::step() {
+  inject();
+  if (config_.routing == FbRouting::kContention) refresh_counters();
+  advance_links();
+  move_sources();
+  ++now_;
+}
+
+void FbSimulator::run(Cycle cycles) {
+  for (Cycle i = 0; i < cycles; ++i) step();
+}
+
+void FbSimulator::start_measurement() {
+  metrics_ = Metrics{};
+  measure_start_ = now_;
+}
+
+double FbSimulator::throughput() const {
+  const Cycle cycles = now_ - measure_start_;
+  if (cycles <= 0) return 0.0;
+  return static_cast<double>(metrics_.delivered) /
+         (static_cast<double>(config_.topo.nodes()) *
+          static_cast<double>(cycles));
+}
+
+double FbSimulator::backlog_per_node() const {
+  std::int64_t waiting = 0;
+  for (std::size_t i = 0; i < source_.size(); ++i) {
+    waiting += static_cast<std::int64_t>(source_[i].size()) - source_head_[i];
+  }
+  return static_cast<double>(waiting) /
+         static_cast<double>(config_.topo.nodes());
+}
+
+void FbSimulator::set_traffic(FbTraffic traffic) { config_.traffic = traffic; }
+
+void FbSimulator::enable_delivery_log() {
+  log_deliveries_ = true;
+  deliveries_.clear();
+}
+
+}  // namespace dfsim::fbfly

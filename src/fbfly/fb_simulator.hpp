@@ -1,0 +1,166 @@
+// Companion simulator for Section VI-D: contention counters on a k-ary
+// n-flat flattened butterfly with Dimension-Order (minimal) routing.
+//
+// Deliberately simpler than the dragonfly engine — output-queued,
+// packet-granularity, unit links — because the point of the ablation is the
+// *trigger* comparison (queue/UGAL vs contention counters) on a second
+// topology, not microarchitectural fidelity. Counters here follow the
+// paper's remark that FB only needs injection-head counters: each router
+// counts how many of its injection-queue heads would minimally use each
+// output channel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace dfsim::fbfly {
+
+struct FbParams {
+  std::int32_t k = 4;  // radix per dimension
+  std::int32_t n = 2;  // dimensions
+  std::int32_t c = 4;  // nodes per router
+
+  [[nodiscard]] std::int32_t routers() const {
+    std::int32_t total = 1;
+    for (std::int32_t d = 0; d < n; ++d) total *= k;
+    return total;
+  }
+  [[nodiscard]] std::int32_t nodes() const { return routers() * c; }
+  /// Inter-router channels per router: (k-1) per dimension.
+  [[nodiscard]] std::int32_t channels() const { return n * (k - 1); }
+};
+
+enum class FbRouting : std::uint8_t { kMin, kValiant, kUgalQueue, kContention };
+enum class FbTraffic : std::uint8_t { kUniform, kAdjacent };
+
+[[nodiscard]] std::string to_string(FbRouting routing);
+[[nodiscard]] std::string to_string(FbTraffic traffic);
+
+struct FbConfig {
+  FbParams topo;
+  FbRouting routing = FbRouting::kMin;
+  FbTraffic traffic = FbTraffic::kUniform;
+  double load = 0.3;                  // packets/node/cycle
+  std::uint64_t seed = 1;
+  std::int32_t buf_packets = 16;      // per output channel queue
+  std::int32_t source_queue_packets = 512;
+  std::int32_t hop_latency = 4;       // fixed per-hop pipeline+wire cycles
+  /// Contention threshold; 0 = auto (all c injection heads aligned).
+  std::int32_t threshold = 0;
+  std::int32_t ugal_threshold = 0;    // 0 = auto (buf_packets / 2)
+};
+
+class FbSimulator {
+ public:
+  struct Delivery {
+    Cycle birth = 0;
+    Cycle latency = 0;
+    bool misrouted = false;
+  };
+
+  struct Metrics {
+    std::int64_t delivered = 0;
+    double latency_sum = 0.0;
+    std::int64_t misrouted = 0;
+    std::int64_t generated = 0;
+    std::int64_t refused = 0;
+
+    [[nodiscard]] double mean_latency() const {
+      return delivered > 0 ? latency_sum / static_cast<double>(delivered)
+                           : 0.0;
+    }
+    [[nodiscard]] double misrouted_fraction() const {
+      return delivered > 0 ? static_cast<double>(misrouted) /
+                                 static_cast<double>(delivered)
+                           : 0.0;
+    }
+  };
+
+  explicit FbSimulator(const FbConfig& config);
+
+  void step();
+  void run(Cycle cycles);
+  [[nodiscard]] Cycle now() const { return now_; }
+
+  void start_measurement();
+  [[nodiscard]] const Metrics& metrics() const { return metrics_; }
+  [[nodiscard]] double throughput() const;
+  [[nodiscard]] double backlog_per_node() const;
+
+  void set_traffic(FbTraffic traffic);
+  void enable_delivery_log();
+  [[nodiscard]] const std::vector<Delivery>& delivery_log() const {
+    return deliveries_;
+  }
+
+ private:
+  struct Packet {
+    NodeId dst = 0;
+    RouterId inter = -1;  // valiant intermediate (-1 = minimal phase)
+    Cycle birth = 0;
+    std::int16_t hops = 0;
+    bool misrouted = false;
+  };
+
+  [[nodiscard]] RouterId router_of(NodeId node) const {
+    return node / config_.topo.c;
+  }
+  [[nodiscard]] std::int32_t coord(RouterId r, std::int32_t dim) const;
+  /// Output channel index toward coordinate `v` in dimension `dim`.
+  [[nodiscard]] std::int32_t channel_to(RouterId r, std::int32_t dim,
+                                        std::int32_t v) const;
+  /// First DOR hop from `r` toward router `target`; -1 when r == target.
+  [[nodiscard]] std::int32_t dor_channel(RouterId r, RouterId target) const;
+  [[nodiscard]] RouterId channel_peer(RouterId r, std::int32_t channel) const;
+  [[nodiscard]] std::int32_t dor_hops(RouterId from, RouterId to) const;
+
+  void inject();
+  void refresh_counters();
+  void decide(RouterId r, Packet& packet);
+  void move_sources();
+  void advance_links();
+  void deliver(Packet& packet);
+
+  /// Queue storage is split into two virtual phases per channel (Valiant
+  /// leg to the intermediate router vs the leg to the destination), which
+  /// breaks the dim1 -> dim0 buffer cycle nonminimal routing introduces —
+  /// the usual FB deadlock-avoidance VCs, collapsed to one class per phase.
+  [[nodiscard]] std::size_t queue_id(RouterId r, std::int32_t channel,
+                                     std::int32_t phase) const {
+    return (static_cast<std::size_t>(r) * static_cast<std::size_t>(channels_) +
+            static_cast<std::size_t>(channel)) *
+               2 +
+           static_cast<std::size_t>(phase);
+  }
+  [[nodiscard]] std::int32_t queue_len(std::size_t q) const {
+    return static_cast<std::int32_t>(queue_[q].size()) - queue_head_[q];
+  }
+
+  FbConfig config_;
+  std::int32_t routers_ = 0;
+  std::int32_t channels_ = 0;
+  std::int32_t threshold_ = 0;
+  std::int32_t ugal_threshold_ = 0;
+
+  // Source queues per node; output queues per (router, channel).
+  std::vector<std::vector<Packet>> source_;   // FIFO front at index 0
+  std::vector<std::int32_t> source_head_;     // pop index (amortized erase)
+  std::vector<std::int8_t> source_decided_;
+  std::vector<std::vector<Packet>> queue_;
+  std::vector<std::int32_t> queue_head_;
+  std::vector<std::int32_t> size_snapshot_;   // advance_links scratch
+  std::vector<std::int16_t> counters_;        // injection-head contention
+
+  Cycle now_ = 0;
+  Rng rng_;
+  Metrics metrics_;
+  Cycle measure_start_ = 0;
+  bool log_deliveries_ = false;
+  std::vector<Delivery> deliveries_;
+};
+
+}  // namespace dfsim::fbfly

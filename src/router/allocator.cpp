@@ -1,0 +1,96 @@
+#include "router/allocator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dfsim {
+
+SeparableAllocator::SeparableAllocator(std::int32_t in_ports,
+                                       std::int32_t out_ports,
+                                       std::int32_t vcs)
+    : in_ports_(in_ports), out_ports_(out_ports), vcs_(vcs) {
+  in_rr_.assign(static_cast<std::size_t>(in_ports_), 0);
+  out_rr_.assign(static_cast<std::size_t>(out_ports_), 0);
+  in_busy_.assign(static_cast<std::size_t>(in_ports_), 0);
+  out_busy_.assign(static_cast<std::size_t>(out_ports_), 0);
+  in_winner_.assign(static_cast<std::size_t>(in_ports_), AllocRequest{});
+  in_has_winner_.assign(static_cast<std::size_t>(in_ports_), 0);
+  out_has_candidate_.assign(static_cast<std::size_t>(out_ports_), 0);
+  iter_grants_.reserve(static_cast<std::size_t>(
+      std::min(in_ports_, out_ports_)));
+  cycle_grants_.reserve(static_cast<std::size_t>(
+      2 * std::min(in_ports_, out_ports_)));
+}
+
+void SeparableAllocator::begin_cycle() {
+  std::fill(in_busy_.begin(), in_busy_.end(), std::int8_t{0});
+  std::fill(out_busy_.begin(), out_busy_.end(), std::int8_t{0});
+  cycle_grants_.clear();
+}
+
+std::span<const AllocGrant> SeparableAllocator::iterate(
+    const std::vector<std::vector<AllocRequest>>& requests) {
+  assert(static_cast<std::int32_t>(requests.size()) == in_ports_);
+  iter_grants_.clear();
+
+  // Stage 1: each free input port picks one requesting VC, round-robin from
+  // its pointer.
+  std::fill(out_has_candidate_.begin(), out_has_candidate_.end(),
+            std::int8_t{0});
+  std::int32_t winners = 0;
+  for (std::int32_t in = 0; in < in_ports_; ++in) {
+    in_has_winner_[static_cast<std::size_t>(in)] = 0;
+    if (in_busy_[static_cast<std::size_t>(in)]) continue;
+    const auto& reqs = requests[static_cast<std::size_t>(in)];
+    const auto n = static_cast<std::int32_t>(reqs.size());
+    if (n == 0) continue;
+    const std::int32_t start = in_rr_[static_cast<std::size_t>(in)] % n;
+    for (std::int32_t k = 0; k < n; ++k) {
+      const auto& req = reqs[static_cast<std::size_t>((start + k) % n)];
+      if (!out_busy_[static_cast<std::size_t>(req.out)]) {
+        in_winner_[static_cast<std::size_t>(in)] = req;
+        in_has_winner_[static_cast<std::size_t>(in)] = 1;
+        out_has_candidate_[static_cast<std::size_t>(req.out)] = 1;
+        ++winners;
+        break;
+      }
+    }
+  }
+
+  // Stage 2: each free output port picks one input winner, round-robin from
+  // its pointer. Outputs nobody picked in stage 1 are skipped outright.
+  if (winners == 0) return {iter_grants_.data(), iter_grants_.size()};
+  for (std::int32_t out = 0; out < out_ports_; ++out) {
+    if (out_busy_[static_cast<std::size_t>(out)]) continue;
+    if (!out_has_candidate_[static_cast<std::size_t>(out)]) continue;
+    const std::int32_t start = out_rr_[static_cast<std::size_t>(out)];
+    for (std::int32_t k = 0; k < in_ports_; ++k) {
+      const std::int32_t in = (start + k) % in_ports_;
+      if (!in_has_winner_[static_cast<std::size_t>(in)]) continue;
+      const AllocRequest& req = in_winner_[static_cast<std::size_t>(in)];
+      if (req.out != out) continue;
+      iter_grants_.push_back(AllocGrant{in, req.vc, out});
+      in_busy_[static_cast<std::size_t>(in)] = 1;
+      out_busy_[static_cast<std::size_t>(out)] = 1;
+      in_has_winner_[static_cast<std::size_t>(in)] = 0;
+      // Advance round-robin pointers past the winners.
+      out_rr_[static_cast<std::size_t>(out)] = (in + 1) % in_ports_;
+      in_rr_[static_cast<std::size_t>(in)] =
+          in_rr_[static_cast<std::size_t>(in)] + 1;
+      break;
+    }
+  }
+
+  cycle_grants_.insert(cycle_grants_.end(), iter_grants_.begin(),
+                       iter_grants_.end());
+  return {iter_grants_.data(), iter_grants_.size()};
+}
+
+std::span<const AllocGrant> SeparableAllocator::allocate_iteration(
+    const std::vector<std::vector<AllocRequest>>& requests) {
+  begin_cycle();
+  iterate(requests);
+  return {cycle_grants_.data(), cycle_grants_.size()};
+}
+
+}  // namespace dfsim

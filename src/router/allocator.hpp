@@ -1,0 +1,76 @@
+// Separable input-first switch allocator.
+//
+// One iteration runs two round-robin stages in O(ports * vcs) with zero heap
+// allocation per call:
+//   stage 1 (input arbitration):  each input port picks one requesting VC
+//   stage 2 (output arbitration): each output port picks one input winner
+// Round-robin pointers advance past grant winners, which gives the usual
+// separable-allocator fairness. Grants land in a preallocated buffer and are
+// returned as a span — the simulator calls this for every router every cycle,
+// so the no-allocation property is load-bearing (and unit-tested).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace dfsim {
+
+struct AllocRequest {
+  VcIndex vc = 0;        // requesting VC at this input port
+  PortIndex out = 0;     // requested output port
+};
+
+struct AllocGrant {
+  PortIndex in = 0;
+  VcIndex vc = 0;
+  PortIndex out = 0;
+};
+
+class SeparableAllocator {
+ public:
+  SeparableAllocator(std::int32_t in_ports, std::int32_t out_ports,
+                     std::int32_t vcs);
+
+  /// Runs one separable iteration over `requests` (indexed by input port;
+  /// each inner vector lists that port's requesting VCs). The returned span
+  /// aliases an internal buffer valid until the next call.
+  [[nodiscard]] std::span<const AllocGrant> allocate_iteration(
+      const std::vector<std::vector<AllocRequest>>& requests);
+
+  /// Incremental variant for multi-iteration (speedup > 1) allocation:
+  /// inputs/outputs granted in earlier iterations of the same cycle are
+  /// skipped. Call `begin_cycle()` first, then `iterate` up to `speedup`
+  /// times; grants accumulate in `cycle_grants()`.
+  void begin_cycle();
+  std::span<const AllocGrant> iterate(
+      const std::vector<std::vector<AllocRequest>>& requests);
+  [[nodiscard]] std::span<const AllocGrant> cycle_grants() const {
+    return {cycle_grants_.data(), cycle_grants_.size()};
+  }
+
+  [[nodiscard]] std::int32_t in_ports() const { return in_ports_; }
+  [[nodiscard]] std::int32_t out_ports() const { return out_ports_; }
+  [[nodiscard]] std::int32_t vcs() const { return vcs_; }
+
+ private:
+  std::int32_t in_ports_;
+  std::int32_t out_ports_;
+  std::int32_t vcs_;
+
+  std::vector<std::int32_t> in_rr_;   // per input: round-robin VC pointer
+  std::vector<std::int32_t> out_rr_;  // per output: round-robin input pointer
+
+  // Per-cycle scratch (preallocated).
+  std::vector<std::int8_t> in_busy_;    // input granted this cycle
+  std::vector<std::int8_t> out_busy_;   // output granted this cycle
+  std::vector<AllocRequest> in_winner_; // stage-1 winner per input
+  std::vector<std::int8_t> in_has_winner_;
+  std::vector<std::int8_t> out_has_candidate_;
+  std::vector<AllocGrant> iter_grants_;
+  std::vector<AllocGrant> cycle_grants_;
+};
+
+}  // namespace dfsim

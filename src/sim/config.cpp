@@ -1,0 +1,91 @@
+#include "sim/config.hpp"
+
+#include <stdexcept>
+
+namespace dfsim {
+
+std::string to_string(RoutingKind kind) {
+  switch (kind) {
+    case RoutingKind::kMin: return "MIN";
+    case RoutingKind::kValiant: return "VAL";
+    case RoutingKind::kUgalL: return "UGAL-L";
+    case RoutingKind::kUgalG: return "UGAL-G";
+    case RoutingKind::kPiggyback: return "PB";
+    case RoutingKind::kOlm: return "OLM";
+    case RoutingKind::kCbBase: return "Base";
+    case RoutingKind::kCbHybrid: return "Hybrid";
+    case RoutingKind::kCbEctn: return "ECtN";
+  }
+  return "?";
+}
+
+RoutingKind routing_kind_from_string(const std::string& name) {
+  auto lower = [](std::string s) {
+    for (char& c : s) c = static_cast<char>(std::tolower(c));
+    return s;
+  };
+  const std::string n = lower(name);
+  if (n == "min") return RoutingKind::kMin;
+  if (n == "val" || n == "valiant") return RoutingKind::kValiant;
+  if (n == "ugal-l" || n == "ugall") return RoutingKind::kUgalL;
+  if (n == "ugal-g" || n == "ugalg") return RoutingKind::kUgalG;
+  if (n == "pb" || n == "piggyback") return RoutingKind::kPiggyback;
+  if (n == "olm") return RoutingKind::kOlm;
+  if (n == "base" || n == "cb" || n == "cb-base") return RoutingKind::kCbBase;
+  if (n == "hybrid" || n == "cb-hybrid") return RoutingKind::kCbHybrid;
+  if (n == "ectn" || n == "cb-ectn") return RoutingKind::kCbEctn;
+  throw std::invalid_argument("unknown routing mechanism: " + name);
+}
+
+std::string to_string(TrafficKind kind) {
+  switch (kind) {
+    case TrafficKind::kUniform: return "UN";
+    case TrafficKind::kAdversarial: return "ADV";
+    case TrafficKind::kMixed: return "MIXED";
+  }
+  return "?";
+}
+
+namespace presets {
+
+SimParams paper() {
+  SimParams p;
+  p.topo = TopoParams{8, 16, 8};
+  return p;
+}
+
+SimParams medium() {
+  SimParams p;
+  p.topo = TopoParams{4, 8, 4};
+  return p;
+}
+
+SimParams small() {
+  SimParams p;
+  p.topo = TopoParams{3, 6, 3};
+  p.routing.contention_threshold = 5;
+  return p;
+}
+
+SimParams tiny() {
+  SimParams p;
+  p.topo = TopoParams{2, 4, 2};
+  p.routing.contention_threshold = 4;
+  // Short links keep base latency low at smoke scale.
+  p.link.local_latency = 5;
+  p.link.global_latency = 20;
+  return p;
+}
+
+SimParams by_name(const std::string& name) {
+  if (name == "paper") return paper();
+  if (name == "medium") return medium();
+  if (name == "small") return small();
+  if (name == "tiny") return tiny();
+  throw std::invalid_argument("unknown preset/scale: " + name +
+                              " (expected tiny|small|medium|paper)");
+}
+
+}  // namespace presets
+
+}  // namespace dfsim

@@ -1,0 +1,148 @@
+// Simulation parameters: topology shape, router microarchitecture, link
+// latencies, routing mechanism knobs, and traffic pattern — plus the named
+// presets every bench selects with --scale (Table I of the paper at "paper"
+// scale, proportionally shrunk versions below it).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace dfsim {
+
+// ---------------------------------------------------------------------------
+// Enums
+
+/// Routing mechanisms compared in the paper. kCb* are the contention-counter
+/// based contributions (Section IV/V); the rest are baselines.
+enum class RoutingKind : std::uint8_t {
+  kMin,        // oblivious minimal
+  kValiant,    // oblivious Valiant (random intermediate group)
+  kUgalL,      // UGAL with local (source-router credit) estimates
+  kUgalG,      // UGAL with idealized global queue knowledge
+  kPiggyback,  // UGAL-L + piggybacked remote link state (PB)
+  kOlm,        // in-transit credit-triggered misrouting (On-the-fly OLM)
+  kCbBase,     // contention counters, threshold trigger (Base)
+  kCbHybrid,   // contention + credit hybrid trigger (Hybrid)
+  kCbEctn,     // contention + explicit contention notification (ECtN)
+};
+
+[[nodiscard]] std::string to_string(RoutingKind kind);
+[[nodiscard]] RoutingKind routing_kind_from_string(const std::string& name);
+
+enum class TrafficKind : std::uint8_t {
+  kUniform,      // UN: uniform random destinations
+  kAdversarial,  // ADV+o: every node in group G sends to group G+o
+  kMixed,        // blend of UN and ADV+o
+};
+
+[[nodiscard]] std::string to_string(TrafficKind kind);
+
+/// Candidate set for a global misroute (Section V-A): MM+L may commit a local
+/// hop to reach any global link of the group; CRG restricts candidates to the
+/// current router's own global links.
+enum class GlobalMisroutePolicy : std::uint8_t { kMmL, kCrg };
+
+// ---------------------------------------------------------------------------
+// Parameter structs
+
+/// Canonical dragonfly: `a` routers per group, `p` nodes per router, `h`
+/// global links per router; fully connected groups, one global link between
+/// every pair of groups (g = a*h + 1 groups).
+struct TopoParams {
+  std::int32_t p = 4;
+  std::int32_t a = 8;
+  std::int32_t h = 4;
+
+  [[nodiscard]] std::int32_t groups() const { return a * h + 1; }
+  [[nodiscard]] std::int32_t routers() const { return groups() * a; }
+  [[nodiscard]] std::int32_t nodes() const { return routers() * p; }
+  [[nodiscard]] std::int32_t local_ports() const { return a - 1; }
+  /// Inter-router ports (local + global); injection/ejection excluded.
+  [[nodiscard]] std::int32_t forward_ports() const { return (a - 1) + h; }
+  /// Full router radix: injection + local + global.
+  [[nodiscard]] std::int32_t radix() const { return p + forward_ports(); }
+};
+
+struct RouterParams {
+  std::int32_t pipeline_cycles = 5;  // router traversal latency
+  std::int32_t speedup = 2;          // internal frequency speedup (allocator iterations)
+  std::int32_t vcs_local = 3;        // local-port VCs (l0/l1/l2 hop classes)
+  std::int32_t vcs_global = 2;       // global-port VCs (g0/g1 hop classes)
+  std::int32_t vcs_injection = 1;
+  std::int32_t buf_output_phits = 32;
+  std::int32_t buf_local_phits = 32;    // per VC, Table I "small buffers"
+  std::int32_t buf_global_phits = 256;  // per VC
+  /// Injection (source) queue depth in packets; bounds memory past saturation.
+  std::int32_t injection_queue_packets = 64;
+};
+
+struct LinkParams {
+  std::int32_t local_latency = 10;
+  std::int32_t global_latency = 100;
+};
+
+struct RoutingParams {
+  RoutingKind kind = RoutingKind::kCbBase;
+  // Contention-counter triggers (Base / ECtN / Hybrid).
+  std::int32_t contention_threshold = 6;
+  std::int32_t hybrid_contention_threshold = 3;
+  std::int32_t ectn_combined_threshold = 8;
+  Cycle ectn_update_period = 100;
+  /// Counter saturation cap; 4 bits matches the Section VI-B overhead math.
+  std::int32_t counter_saturation = 15;
+  // Credit-based triggers.
+  double olm_credit_fraction = 0.35;    // occupancy fraction that flags a link
+  double hybrid_credit_fraction = 0.25;
+  std::int32_t pb_ugal_threshold = 3;   // UGAL/PB decision offset T (phits)
+  // Misrouting policy (Section V / ablations).
+  GlobalMisroutePolicy global_policy = GlobalMisroutePolicy::kMmL;
+  bool allow_local_misroute = true;
+  // Section VI-C statistical trigger: ramp misrouting probability across a
+  // window of counter values below the threshold instead of a hard cutoff.
+  bool statistical_trigger = false;
+  std::int32_t statistical_window = 4;
+};
+
+struct TrafficParams {
+  TrafficKind kind = TrafficKind::kUniform;
+  double load = 0.5;                    // offered phits/node/cycle
+  std::int32_t adv_offset = 1;          // ADV+o group offset
+  double mixed_uniform_fraction = 0.5;  // kMixed: share of UN packets
+  /// Fraction of traffic pinned to the minimal path (in-order delivery,
+  /// Section VI-C remedy (a)).
+  double inorder_fraction = 0.0;
+};
+
+struct SimParams {
+  TopoParams topo;
+  RouterParams router;
+  LinkParams link;
+  RoutingParams routing;
+  TrafficParams traffic;
+  std::int32_t packet_size_phits = 8;
+  std::uint64_t seed = 1;
+};
+
+// ---------------------------------------------------------------------------
+// Presets
+
+namespace presets {
+
+/// Paper scale (Table I): p=8 a=16 h=8, 31 forward ports, 129 groups,
+/// 16512 nodes.
+[[nodiscard]] SimParams paper();
+/// p=4 a=8 h=4 — 1056 nodes; the default bench scale.
+[[nodiscard]] SimParams medium();
+/// p=3 a=6 h=3 — 342 nodes.
+[[nodiscard]] SimParams small();
+/// p=2 a=4 h=2 — 72 nodes; smoke-test scale.
+[[nodiscard]] SimParams tiny();
+
+/// Lookup by --scale name; throws std::invalid_argument on unknown names.
+[[nodiscard]] SimParams by_name(const std::string& name);
+
+}  // namespace presets
+
+}  // namespace dfsim

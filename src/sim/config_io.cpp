@@ -1,0 +1,137 @@
+#include "sim/config_io.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace dfsim {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const std::size_t begin = s.find_first_not_of(" \t\r\n");
+  if (begin == std::string::npos) return {};
+  const std::size_t end = s.find_last_not_of(" \t\r\n");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::int32_t to_i32(const std::string& key, const std::string& value) {
+  try {
+    return static_cast<std::int32_t>(std::stol(value));
+  } catch (const std::exception&) {
+    throw std::invalid_argument("config: bad integer for " + key + ": '" +
+                                value + "'");
+  }
+}
+
+double to_f64(const std::string& key, const std::string& value) {
+  try {
+    return std::stod(value);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("config: bad number for " + key + ": '" +
+                                value + "'");
+  }
+}
+
+bool to_bool(const std::string& key, const std::string& value) {
+  if (value == "true" || value == "1" || value == "yes" || value == "on") {
+    return true;
+  }
+  if (value == "false" || value == "0" || value == "no" || value == "off") {
+    return false;
+  }
+  throw std::invalid_argument("config: bad bool for " + key + ": '" + value +
+                              "'");
+}
+
+}  // namespace
+
+void apply_param(SimParams& p, const std::string& key,
+                 const std::string& value) {
+  // Topology
+  if (key == "topo.p") { p.topo.p = to_i32(key, value); return; }
+  if (key == "topo.a") { p.topo.a = to_i32(key, value); return; }
+  if (key == "topo.h") { p.topo.h = to_i32(key, value); return; }
+  // Router
+  if (key == "router.pipeline_cycles") { p.router.pipeline_cycles = to_i32(key, value); return; }
+  if (key == "router.speedup") { p.router.speedup = to_i32(key, value); return; }
+  if (key == "router.vcs_local") { p.router.vcs_local = to_i32(key, value); return; }
+  if (key == "router.vcs_global") { p.router.vcs_global = to_i32(key, value); return; }
+  if (key == "router.vcs_injection") { p.router.vcs_injection = to_i32(key, value); return; }
+  if (key == "router.buf_output_phits") { p.router.buf_output_phits = to_i32(key, value); return; }
+  if (key == "router.buf_local_phits") { p.router.buf_local_phits = to_i32(key, value); return; }
+  if (key == "router.buf_global_phits") { p.router.buf_global_phits = to_i32(key, value); return; }
+  if (key == "router.injection_queue_packets") { p.router.injection_queue_packets = to_i32(key, value); return; }
+  // Links
+  if (key == "link.local_latency") { p.link.local_latency = to_i32(key, value); return; }
+  if (key == "link.global_latency") { p.link.global_latency = to_i32(key, value); return; }
+  // Routing
+  if (key == "routing.kind") { p.routing.kind = routing_kind_from_string(value); return; }
+  if (key == "routing.contention_threshold") { p.routing.contention_threshold = to_i32(key, value); return; }
+  if (key == "routing.hybrid_contention_threshold") { p.routing.hybrid_contention_threshold = to_i32(key, value); return; }
+  if (key == "routing.ectn_combined_threshold") { p.routing.ectn_combined_threshold = to_i32(key, value); return; }
+  if (key == "routing.ectn_update_period") { p.routing.ectn_update_period = to_i32(key, value); return; }
+  if (key == "routing.counter_saturation") { p.routing.counter_saturation = to_i32(key, value); return; }
+  if (key == "routing.olm_credit_fraction") { p.routing.olm_credit_fraction = to_f64(key, value); return; }
+  if (key == "routing.hybrid_credit_fraction") { p.routing.hybrid_credit_fraction = to_f64(key, value); return; }
+  if (key == "routing.pb_ugal_threshold") { p.routing.pb_ugal_threshold = to_i32(key, value); return; }
+  if (key == "routing.global_policy") {
+    if (value == "MM+L" || value == "mml" || value == "MML") {
+      p.routing.global_policy = GlobalMisroutePolicy::kMmL;
+    } else if (value == "CRG" || value == "crg") {
+      p.routing.global_policy = GlobalMisroutePolicy::kCrg;
+    } else {
+      throw std::invalid_argument("config: bad global_policy '" + value + "'");
+    }
+    return;
+  }
+  if (key == "routing.allow_local_misroute") { p.routing.allow_local_misroute = to_bool(key, value); return; }
+  if (key == "routing.statistical_trigger") { p.routing.statistical_trigger = to_bool(key, value); return; }
+  if (key == "routing.statistical_window") { p.routing.statistical_window = to_i32(key, value); return; }
+  // Traffic
+  if (key == "traffic.kind") {
+    if (value == "UN" || value == "uniform") { p.traffic.kind = TrafficKind::kUniform; return; }
+    if (value == "ADV" || value == "adversarial") { p.traffic.kind = TrafficKind::kAdversarial; return; }
+    if (value == "MIXED" || value == "mixed") { p.traffic.kind = TrafficKind::kMixed; return; }
+    throw std::invalid_argument("config: bad traffic.kind '" + value + "'");
+  }
+  if (key == "traffic.load") { p.traffic.load = to_f64(key, value); return; }
+  if (key == "traffic.adv_offset") { p.traffic.adv_offset = to_i32(key, value); return; }
+  if (key == "traffic.mixed_uniform_fraction") { p.traffic.mixed_uniform_fraction = to_f64(key, value); return; }
+  if (key == "traffic.inorder_fraction") { p.traffic.inorder_fraction = to_f64(key, value); return; }
+  // Top level
+  if (key == "packet_size_phits") { p.packet_size_phits = to_i32(key, value); return; }
+  if (key == "seed") { p.seed = static_cast<std::uint64_t>(to_i32(key, value)); return; }
+  throw std::invalid_argument("config: unknown key '" + key + "'");
+}
+
+SimParams load_params(const std::string& path, const SimParams& base) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("config: cannot open " + path);
+  SimParams params = base;
+  std::string line;
+  std::string section;
+  while (std::getline(in, line)) {
+    const std::size_t comment = line.find_first_of("#;");
+    if (comment != std::string::npos) line = line.substr(0, comment);
+    line = trim(line);
+    if (line.empty()) continue;
+    if (line.front() == '[' && line.back() == ']') {
+      section = trim(line.substr(1, line.size() - 2));
+      continue;
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("config: expected key = value, got '" +
+                                  line + "'");
+    }
+    std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (!section.empty() && key.find('.') == std::string::npos) {
+      key = section + "." + key;
+    }
+    apply_param(params, key, value);
+  }
+  return params;
+}
+
+}  // namespace dfsim

@@ -1,0 +1,22 @@
+// Config-file overlay: a partial INI-style file overrides only the keys it
+// mentions on top of a base SimParams (usually a preset). Keys are dotted,
+// e.g. `topo.a = 16`, `routing.kind = ECtN`, `traffic.load = 0.35`.
+#pragma once
+
+#include <string>
+
+#include "sim/config.hpp"
+
+namespace dfsim {
+
+/// Loads `path` on top of `base`. Throws std::runtime_error when the file
+/// cannot be opened and std::invalid_argument on unknown keys or bad values.
+[[nodiscard]] SimParams load_params(const std::string& path,
+                                    const SimParams& base);
+
+/// Applies a single `key = value` assignment; exposed for tests and for
+/// `--set key=value` style overrides.
+void apply_param(SimParams& params, const std::string& key,
+                 const std::string& value);
+
+}  // namespace dfsim

@@ -1,0 +1,101 @@
+#include "topo/dragonfly.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace dfsim {
+
+DragonflyTopology::DragonflyTopology(const TopoParams& params)
+    : params_(params),
+      groups_(params.groups()),
+      routers_(params.routers()),
+      nodes_(params.nodes()),
+      forward_ports_(params.forward_ports()) {
+  if (params_.p < 1 || params_.a < 2 || params_.h < 1) {
+    throw std::invalid_argument("dragonfly: need p>=1, a>=2, h>=1");
+  }
+  const auto n_routers = static_cast<std::size_t>(routers_);
+  const auto n_groups = static_cast<std::size_t>(groups_);
+  const auto fwd = static_cast<std::size_t>(forward_ports_);
+
+  peer_.assign(n_routers * fwd, -1);
+  peer_port_.assign(n_routers * fwd, -1);
+  global_src_.assign(n_groups * n_groups, -1);
+  global_port_.assign(n_groups * n_groups, -1);
+
+  const std::int32_t a = params_.a;
+  const std::int32_t h = params_.h;
+
+  // Peer tables.
+  for (RouterId r = 0; r < routers_; ++r) {
+    const GroupId g = group_of(r);
+    const std::int32_t lr = local_index(r);
+    // Local ports: port i reaches local index (i < lr ? i : i + 1).
+    for (PortIndex port = 0; port < a - 1; ++port) {
+      const std::int32_t li = port < lr ? port : port + 1;
+      const RouterId dest = g * a + li;
+      peer_[static_cast<std::size_t>(r) * fwd + static_cast<std::size_t>(port)] = dest;
+      peer_port_[static_cast<std::size_t>(r) * fwd +
+                 static_cast<std::size_t>(port)] =
+          static_cast<std::int16_t>(local_port_to(dest, r));
+    }
+    // Global ports: channel j = lr*h + gp of group g reaches group
+    // (j < g ? j : j+1); the far end is that group's channel for g.
+    for (PortIndex gp = 0; gp < h; ++gp) {
+      const std::int32_t j = lr * h + gp;
+      const GroupId gd = global_channel_dest(g, j);
+      const std::int32_t j_back = g < gd ? g : g - 1;  // gd's channel to g
+      const RouterId dest = gd * a + j_back / h;
+      const PortIndex dest_port = (a - 1) + (j_back % h);
+      const PortIndex port = (a - 1) + gp;
+      peer_[static_cast<std::size_t>(r) * fwd + static_cast<std::size_t>(port)] = dest;
+      peer_port_[static_cast<std::size_t>(r) * fwd +
+                 static_cast<std::size_t>(port)] =
+          static_cast<std::int16_t>(dest_port);
+      // Group-level gateway tables.
+      global_src_[static_cast<std::size_t>(g) * n_groups +
+                  static_cast<std::size_t>(gd)] = r;
+      global_port_[static_cast<std::size_t>(g) * n_groups +
+                   static_cast<std::size_t>(gd)] =
+          static_cast<std::int16_t>(port);
+    }
+  }
+
+  // Minimal next-output table over router pairs. Route shape is
+  // local?(to gateway) -> global -> local?(to dest router).
+  min_port_.assign(n_routers * n_routers, kEject);
+  for (RouterId r = 0; r < routers_; ++r) {
+    const GroupId g = group_of(r);
+    for (RouterId dr = 0; dr < routers_; ++dr) {
+      const std::size_t idx =
+          static_cast<std::size_t>(r) * n_routers + static_cast<std::size_t>(dr);
+      if (dr == r) continue;  // stays kEject
+      const GroupId gd = group_of(dr);
+      if (gd == g) {
+        min_port_[idx] = static_cast<std::int16_t>(local_port_to(r, dr));
+        continue;
+      }
+      const RouterId gateway = minimal_global_source(g, gd);
+      if (r == gateway) {
+        min_port_[idx] = static_cast<std::int16_t>(minimal_global_port(g, gd));
+      } else {
+        min_port_[idx] = static_cast<std::int16_t>(local_port_to(r, gateway));
+      }
+    }
+  }
+}
+
+std::int32_t DragonflyTopology::minimal_hops(RouterId from, RouterId to) const {
+  std::int32_t hops = 0;
+  RouterId r = from;
+  while (r != to) {
+    const PortIndex port = minimal_router_output(r, to);
+    assert(port != kInvalidPort);
+    r = peer(r, port);
+    ++hops;
+    assert(hops <= 3);
+  }
+  return hops;
+}
+
+}  // namespace dfsim

@@ -1,0 +1,140 @@
+// Canonical dragonfly topology with fully precomputed flat tables.
+//
+// Port layout per router (outputs and inputs use the same indices):
+//   [0, a-1)                      local ports, one per other router in group
+//   [a-1, a-1+h)                  global ports
+//   [forward_ports(), +p)         ejection (outputs) / injection (inputs)
+//
+// Global link arrangement is the standard "absolute" one: group G's global
+// channel j (j in [0, a*h), owned by router j/h at global port j%h) connects
+// to group j if j < G else j+1, which gives exactly one link per group pair.
+//
+// `minimal_output` is a single array lookup: the next-output table over
+// (router, destination router) pairs is built once in the constructor; at
+// paper scale it is a ~8.5 MB int16 table, which is why route computation
+// never shows up in the simulator profile.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "util/types.hpp"
+
+namespace dfsim {
+
+class DragonflyTopology {
+ public:
+  explicit DragonflyTopology(const TopoParams& params);
+
+  [[nodiscard]] const TopoParams& params() const { return params_; }
+  [[nodiscard]] std::int32_t groups() const { return groups_; }
+  [[nodiscard]] std::int32_t routers() const { return routers_; }
+  [[nodiscard]] std::int32_t nodes() const { return nodes_; }
+  [[nodiscard]] std::int32_t forward_ports() const { return forward_ports_; }
+
+  [[nodiscard]] GroupId group_of(RouterId r) const { return r / params_.a; }
+  [[nodiscard]] std::int32_t local_index(RouterId r) const {
+    return r % params_.a;
+  }
+  [[nodiscard]] RouterId router_of_node(NodeId n) const {
+    return n / params_.p;
+  }
+
+  [[nodiscard]] bool is_local_port(PortIndex port) const {
+    return port < params_.a - 1;
+  }
+  [[nodiscard]] bool is_global_port(PortIndex port) const {
+    return port >= params_.a - 1 && port < forward_ports_;
+  }
+  [[nodiscard]] bool is_ejection_port(PortIndex port) const {
+    return port >= forward_ports_;
+  }
+
+  /// Neighbor router on the other end of `port` (local or global).
+  [[nodiscard]] RouterId peer(RouterId r, PortIndex port) const {
+    return peer_[static_cast<std::size_t>(r) *
+                     static_cast<std::size_t>(forward_ports_) +
+                 static_cast<std::size_t>(port)];
+  }
+  /// Input port on the peer router that this link feeds.
+  [[nodiscard]] PortIndex peer_port(RouterId r, PortIndex port) const {
+    return peer_port_[static_cast<std::size_t>(r) *
+                          static_cast<std::size_t>(forward_ports_) +
+                      static_cast<std::size_t>(port)];
+  }
+
+  /// Next output port on the (unique) minimal route from router `r` to node
+  /// `dest`: an ejection port when `dest` is attached to `r`.
+  [[nodiscard]] PortIndex minimal_output(RouterId r, NodeId dest) const {
+    const RouterId dr = router_of_node(dest);
+    const PortIndex port = min_port_[static_cast<std::size_t>(r) *
+                                         static_cast<std::size_t>(routers_) +
+                                     static_cast<std::size_t>(dr)];
+    if (port != kEject) return port;
+    return forward_ports_ + (dest % params_.p);
+  }
+
+  /// Next output port on the minimal route toward router `dr` (kInvalidPort
+  /// when `r == dr`).
+  [[nodiscard]] PortIndex minimal_router_output(RouterId r, RouterId dr) const {
+    const PortIndex port = min_port_[static_cast<std::size_t>(r) *
+                                         static_cast<std::size_t>(routers_) +
+                                     static_cast<std::size_t>(dr)];
+    return port == kEject ? kInvalidPort : port;
+  }
+
+  /// The router in group `g` owning the global link to group `gd` (g != gd).
+  [[nodiscard]] RouterId minimal_global_source(GroupId g, GroupId gd) const {
+    return global_src_[static_cast<std::size_t>(g) *
+                           static_cast<std::size_t>(groups_) +
+                       static_cast<std::size_t>(gd)];
+  }
+  /// The global port on `minimal_global_source(g, gd)` reaching `gd`.
+  [[nodiscard]] PortIndex minimal_global_port(GroupId g, GroupId gd) const {
+    return global_port_[static_cast<std::size_t>(g) *
+                            static_cast<std::size_t>(groups_) +
+                        static_cast<std::size_t>(gd)];
+  }
+
+  /// Destination group of group-level global channel `channel` in [0, a*h)
+  /// of group `g`.
+  [[nodiscard]] GroupId global_channel_dest(GroupId g,
+                                            std::int32_t channel) const {
+    return channel < g ? channel : channel + 1;
+  }
+  /// Group-level channel index [0, a*h) for router `r`'s global port.
+  [[nodiscard]] std::int32_t global_channel_of(RouterId r,
+                                               PortIndex global_port) const {
+    return local_index(r) * params_.h + (global_port - (params_.a - 1));
+  }
+
+  /// Local output port on router `r` toward router `dest` in the same group.
+  [[nodiscard]] PortIndex local_port_to(RouterId r, RouterId dest) const {
+    const std::int32_t li = local_index(dest);
+    const std::int32_t lr = local_index(r);
+    return li < lr ? li : li - 1;
+  }
+
+  /// Hop count of the minimal route between two routers (0..3; at most one
+  /// global hop plus at most one local hop on each side).
+  [[nodiscard]] std::int32_t minimal_hops(RouterId from, RouterId to) const;
+
+ private:
+  // Sentinel inside min_port_ marking "destination router reached".
+  static constexpr std::int16_t kEject = -2;
+
+  TopoParams params_;
+  std::int32_t groups_ = 0;
+  std::int32_t routers_ = 0;
+  std::int32_t nodes_ = 0;
+  std::int32_t forward_ports_ = 0;
+
+  std::vector<RouterId> peer_;          // [routers x forward_ports]
+  std::vector<std::int16_t> peer_port_; // [routers x forward_ports]
+  std::vector<std::int16_t> min_port_;  // [routers x routers]
+  std::vector<RouterId> global_src_;    // [groups x groups]
+  std::vector<std::int16_t> global_port_;  // [groups x groups]
+};
+
+}  // namespace dfsim

@@ -1,0 +1,59 @@
+// Minimal `--key=value` / `--flag` command-line parser plus environment
+// helpers. All benches share it; no external dependency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dfsim {
+
+class CliOptions {
+ public:
+  CliOptions(int argc, char** argv);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+
+  /// Value of `--key=value`; empty string when absent or valueless.
+  [[nodiscard]] std::string get(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+
+  /// Numeric lookups fall back (and warn once on stderr) when the value does
+  /// not parse, instead of throwing out of `std::stol`/`std::stod`.
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const;
+
+  /// Environment variable lookup with fallback.
+  [[nodiscard]] static std::string env(const std::string& name,
+                                       const std::string& fallback);
+  /// Integer environment lookup that tolerates unset or garbage values.
+  [[nodiscard]] static std::int64_t env_int(const std::string& name,
+                                            std::int64_t fallback);
+
+  /// Tolerant parses used by both CLI and env paths. Return the fallback on
+  /// empty/garbage input rather than throwing.
+  [[nodiscard]] static std::int64_t parse_int(const std::string& text,
+                                              std::int64_t fallback);
+  [[nodiscard]] static double parse_double(const std::string& text,
+                                           double fallback);
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  struct Option {
+    std::string key;
+    std::string value;
+    bool has_value = false;
+  };
+  [[nodiscard]] const Option* find(const std::string& key) const;
+
+  std::vector<Option> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace dfsim

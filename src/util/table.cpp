@@ -1,0 +1,75 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace dfsim {
+
+ResultTable::ResultTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+void ResultTable::begin_row() {
+  cells_.emplace_back(columns_.size());
+}
+
+std::size_t ResultTable::column_index(const std::string& column) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == column) return i;
+  }
+  throw std::out_of_range("ResultTable: unknown column '" + column + "'");
+}
+
+void ResultTable::set(const std::string& column, const std::string& value) {
+  if (cells_.empty()) begin_row();
+  cells_.back()[column_index(column)] = value;
+}
+
+void ResultTable::set(const std::string& column, const char* value) {
+  set(column, std::string(value));
+}
+
+void ResultTable::set(const std::string& column, double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  set(column, std::string(buffer));
+}
+
+void ResultTable::write_pretty(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+    for (const auto& row : cells_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      if (c != 0) os << "  ";
+      const std::string& value = c < row.size() ? row[c] : std::string();
+      // First column left-aligned (labels), the rest right-aligned (numbers).
+      if (c == 0) {
+        os << value << std::string(widths[c] - value.size(), ' ');
+      } else {
+        os << std::string(widths[c] - value.size(), ' ') << value;
+      }
+    }
+    os << "\n";
+  };
+  write_row(columns_);
+  for (const auto& row : cells_) write_row(row);
+}
+
+void ResultTable::write_csv(std::ostream& os) const {
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      if (c != 0) os << ",";
+      os << (c < row.size() ? row[c] : std::string());
+    }
+    os << "\n";
+  };
+  write_row(columns_);
+  for (const auto& row : cells_) write_row(row);
+}
+
+}  // namespace dfsim

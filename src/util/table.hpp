@@ -1,0 +1,43 @@
+// Column-oriented result table with pretty and CSV writers. Cells are stored
+// preformatted so figure benches control precision per metric.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dfsim {
+
+class ResultTable {
+ public:
+  explicit ResultTable(std::vector<std::string> columns);
+
+  /// Starts a new (initially empty) row; `set` fills cells of the row most
+  /// recently begun.
+  void begin_row();
+
+  void set(const std::string& column, const std::string& value);
+  void set(const std::string& column, const char* value);
+  void set(const std::string& column, double value, int precision);
+
+  [[nodiscard]] std::size_t rows() const { return cells_.size(); }
+  [[nodiscard]] const std::vector<std::string>& columns() const {
+    return columns_;
+  }
+  [[nodiscard]] const std::string& cell(std::size_t row,
+                                        std::size_t column) const {
+    return cells_[row][column];
+  }
+
+  void write_pretty(std::ostream& os) const;
+  void write_csv(std::ostream& os) const;
+
+ private:
+  [[nodiscard]] std::size_t column_index(const std::string& column) const;
+
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+}  // namespace dfsim

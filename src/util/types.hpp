@@ -1,0 +1,22 @@
+// Fundamental index/time types shared by every dfsim layer. Kept in one tiny
+// header so hot structs can include it without pulling in configuration.
+#pragma once
+
+#include <cstdint>
+
+namespace dfsim {
+
+/// Simulation time in router cycles. Signed: transient figures index cycles
+/// relative to a traffic switch (negative = before the switch).
+using Cycle = std::int64_t;
+
+using NodeId = std::int32_t;
+using RouterId = std::int32_t;
+using GroupId = std::int32_t;
+using PortIndex = std::int32_t;
+using VcIndex = std::int32_t;
+
+constexpr PortIndex kInvalidPort = -1;
+constexpr std::int32_t kInvalidPacket = -1;
+
+}  // namespace dfsim

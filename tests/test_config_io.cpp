@@ -1,0 +1,88 @@
+// Config-file overlay: partial files override only the keys they mention;
+// sections and dotted keys are equivalent; bad keys/values throw.
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "sim/config_io.hpp"
+
+namespace {
+
+std::string write_temp(const std::string& contents) {
+  const std::string path = "dfsim_test_config.ini";
+  std::ofstream out(path);
+  out << contents;
+  return path;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dfsim;
+
+  // Overlay semantics: only mentioned keys change.
+  {
+    const std::string path = write_temp(
+        "# comment\n"
+        "topo.a = 16\n"
+        "routing.kind = ECtN   ; trailing comment\n"
+        "\n"
+        "[traffic]\n"
+        "load = 0.35\n"
+        "kind = ADV\n");
+    const SimParams base = presets::medium();
+    const SimParams params = load_params(path, base);
+    assert(params.topo.a == 16);
+    assert(params.topo.p == base.topo.p);        // untouched
+    assert(params.topo.h == base.topo.h);        // untouched
+    assert(params.routing.kind == RoutingKind::kCbEctn);
+    assert(params.traffic.load == 0.35);
+    assert(params.traffic.kind == TrafficKind::kAdversarial);
+    assert(params.router.vcs_local == base.router.vcs_local);
+    std::remove(path.c_str());
+  }
+
+  // apply_param covers scalars, bools, and enums.
+  {
+    SimParams p = presets::tiny();
+    apply_param(p, "routing.statistical_trigger", "true");
+    assert(p.routing.statistical_trigger);
+    apply_param(p, "routing.global_policy", "CRG");
+    assert(p.routing.global_policy == GlobalMisroutePolicy::kCrg);
+    apply_param(p, "packet_size_phits", "4");
+    assert(p.packet_size_phits == 4);
+  }
+
+  // Errors: unknown key, bad value, missing file.
+  {
+    SimParams p = presets::tiny();
+    bool threw = false;
+    try {
+      apply_param(p, "router.flux_capacitor", "1");
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+    assert(threw);
+
+    threw = false;
+    try {
+      apply_param(p, "traffic.load", "heavy");
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+    assert(threw);
+
+    threw = false;
+    try {
+      (void)load_params("does_not_exist.ini", p);
+    } catch (const std::runtime_error&) {
+      threw = true;
+    }
+    assert(threw);
+  }
+
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,131 @@
+// End-to-end simulator sanity at tiny scale: conservation, routing-mechanism
+// invariants (MIN never misroutes, VAL always does), throughput under light
+// load, adversarial behavior ordering, and the transient driver.
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "engine/experiment.hpp"
+#include "engine/simulator.hpp"
+#include "engine/sweep.hpp"
+
+namespace {
+
+dfsim::SteadyResult steady(dfsim::RoutingKind kind, dfsim::TrafficKind traffic,
+                           double load) {
+  dfsim::SimParams p = dfsim::presets::tiny();
+  p.routing.kind = kind;
+  p.traffic.kind = traffic;
+  p.traffic.load = load;
+  p.traffic.adv_offset = 1;
+  dfsim::SteadyOptions opt;
+  opt.warmup = 1500;
+  opt.measure = 2000;
+  return dfsim::run_steady(p, opt);
+}
+
+}  // namespace
+
+int main() {
+  using namespace dfsim;
+
+  // Light uniform load: every mechanism must deliver close to offered load
+  // with sane latencies.
+  for (const RoutingKind kind :
+       {RoutingKind::kMin, RoutingKind::kValiant, RoutingKind::kUgalL,
+        RoutingKind::kPiggyback, RoutingKind::kOlm, RoutingKind::kCbBase,
+        RoutingKind::kCbHybrid, RoutingKind::kCbEctn}) {
+    const SteadyResult r = steady(kind, TrafficKind::kUniform, 0.2);
+    if (r.throughput < 0.15 || r.latency_avg <= 0.0) {
+      std::fprintf(stderr, "kind=%s throughput=%.3f latency=%.1f\n",
+                   to_string(kind).c_str(), r.throughput, r.latency_avg);
+      return EXIT_FAILURE;
+    }
+    assert(r.backlog_per_node < 4.0);
+  }
+
+  // MIN is always fully minimal; VAL misroutes (essentially) all
+  // inter-group packets.
+  {
+    const SteadyResult min = steady(RoutingKind::kMin, TrafficKind::kUniform, 0.2);
+    assert(min.misrouted_fraction == 0.0);
+    assert(min.minimal_path_fraction == 1.0);
+    const SteadyResult val =
+        steady(RoutingKind::kValiant, TrafficKind::kAdversarial, 0.2);
+    assert(val.misrouted_fraction > 0.9);
+    // VAL pays extra hops: strictly higher latency than MIN under UN.
+    const SteadyResult val_un =
+        steady(RoutingKind::kValiant, TrafficKind::kUniform, 0.2);
+    assert(val_un.latency_avg > min.latency_avg);
+  }
+
+  // Adversarial traffic: MIN collapses onto the single inter-group link
+  // (huge backlog), while Base and VAL keep delivering.
+  {
+    const SteadyResult min =
+        steady(RoutingKind::kMin, TrafficKind::kAdversarial, 0.35);
+    const SteadyResult base =
+        steady(RoutingKind::kCbBase, TrafficKind::kAdversarial, 0.35);
+    const SteadyResult val =
+        steady(RoutingKind::kValiant, TrafficKind::kAdversarial, 0.35);
+    assert(min.backlog_per_node > 4.0);  // saturated
+    if (!(base.throughput > 1.5 * min.throughput)) {
+      std::fprintf(stderr, "ADV: base=%.3f min=%.3f val=%.3f\n",
+                   base.throughput, min.throughput, val.throughput);
+      return EXIT_FAILURE;
+    }
+    // Base misroutes most adversarial traffic once counters trigger.
+    assert(base.misrouted_fraction > 0.3);
+  }
+
+  // Transient driver: birth-bucketed stats exist on both sides of the
+  // switch, and counter-based misrouting ramps up after it.
+  {
+    SimParams p = presets::tiny();
+    p.routing.kind = RoutingKind::kCbBase;
+    TransientOptions topt;
+    topt.before.kind = TrafficKind::kUniform;
+    topt.before.load = 0.2;
+    topt.after.kind = TrafficKind::kAdversarial;
+    topt.after.adv_offset = 1;
+    topt.after.load = 0.2;
+    topt.warmup = 1000;
+    topt.pre = 40;
+    topt.post = 200;
+    topt.reps = 2;
+    const TransientResult res = run_transient(p, topt);
+    assert(res.latency_at(-20, 20) > 0.0);
+    assert(res.latency_at(150, 40) > 0.0);
+    const double mis_before = res.misrouted_pct_at(-20, 20);
+    const double mis_after = res.misrouted_pct_at(150, 40);
+    if (!(mis_after > mis_before + 20.0)) {
+      std::fprintf(stderr, "transient: mis before=%.1f after=%.1f\n",
+                   mis_before, mis_after);
+      return EXIT_FAILURE;
+    }
+  }
+
+  // Sweep engine: results come back in order and match serial runs.
+  {
+    SimParams p = presets::tiny();
+    SteadyOptions opt;
+    opt.warmup = 400;
+    opt.measure = 600;
+    std::vector<SweepPoint> points;
+    for (const double load : {0.1, 0.3}) {
+      SweepPoint pt{p, opt};
+      pt.params.traffic.load = load;
+      points.push_back(pt);
+    }
+    const auto parallel = run_sweep(points, 2);
+    const auto serial0 = run_steady(points[0].params, opt);
+    const auto serial1 = run_steady(points[1].params, opt);
+    assert(parallel.size() == 2);
+    assert(parallel[0].throughput == serial0.throughput);
+    assert(parallel[1].throughput == serial1.throughput);
+    assert(parallel[0].latency_avg == serial0.latency_avg);
+    assert(parallel[1].latency_avg == serial1.latency_avg);
+  }
+
+  return EXIT_SUCCESS;
+}

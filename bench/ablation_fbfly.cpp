@@ -48,12 +48,20 @@ int main(int argc, char** argv) {
             << n << "-flat flattened butterfly (" << topo.nodes()
             << " nodes, c=" << c << ")\n\n";
 
+  // "ADJ" (the row adversary) is ADV+1 under the FB traffic grouping: all
+  // nodes of router R target router R+1 in dimension 0.
+  TrafficParams uniform;
+  uniform.kind = TrafficKind::kUniform;
+  TrafficParams adjacent;
+  adjacent.kind = TrafficKind::kAdversarial;
+  adjacent.adv_offset = 1;
   const struct {
-    FbTraffic traffic;
+    const char* name;
+    TrafficParams traffic;
     std::vector<double> loads;
   } scenarios[] = {
-      {FbTraffic::kUniform, {0.1, 0.3, 0.5, 0.7, 0.9}},
-      {FbTraffic::kAdjacent, {0.1, 0.2, 0.3, 0.4, 0.5, 0.6}},
+      {"UN", uniform, {0.1, 0.3, 0.5, 0.7, 0.9}},
+      {"ADJ", adjacent, {0.1, 0.2, 0.3, 0.4, 0.5, 0.6}},
   };
 
   for (const auto& scenario : scenarios) {
@@ -66,7 +74,7 @@ int main(int argc, char** argv) {
         cfg.topo = topo;
         cfg.routing = mechanism;
         cfg.traffic = scenario.traffic;
-        cfg.load = load;
+        cfg.traffic.load = load;
         cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
         FbSimulator sim(cfg);
         sim.run(warmup);
@@ -102,8 +110,7 @@ int main(int argc, char** argv) {
           }
         }
       }
-      std::cout << "== " << to_string(scenario.traffic) << " — " << metric
-                << " ==\n";
+      std::cout << "== " << scenario.name << " — " << metric << " ==\n";
       if (csv) {
         table.write_csv(std::cout);
       } else {

@@ -67,14 +67,17 @@ int main(int argc, char** argv) {
     FbConfig cfg;
     cfg.topo = topo;
     cfg.routing = variant.routing;
-    cfg.traffic = FbTraffic::kUniform;
-    cfg.load = load;
+    cfg.traffic.kind = TrafficKind::kUniform;
+    cfg.traffic.load = load;
     cfg.buf_packets = variant.buf;
     cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
     FbSimulator sim(cfg);
     sim.run(warmup);
     const Cycle switch_cycle = sim.now();
-    sim.set_traffic(FbTraffic::kAdjacent);  // t = 0
+    TrafficParams adjacent = cfg.traffic;  // row adversary = ADV+1 (dim 0)
+    adjacent.kind = TrafficKind::kAdversarial;
+    adjacent.adv_offset = 1;
+    sim.set_traffic(adjacent);  // t = 0
     sim.enable_delivery_log();
     // Run the observation span plus a drain margin so late-born packets
     // still land in their birth buckets.

@@ -1,9 +1,11 @@
 #include "common.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 
 #include "sim/config_io.hpp"
+#include "traffic/trace.hpp"
 
 namespace dfsim::bench {
 
@@ -34,11 +36,98 @@ BenchConfig parse_common(const CliOptions& cli) {
       "measure", CliOptions::env_int("DFSIM_MEASURE", cfg.measure));
   cfg.reps = static_cast<std::int32_t>(cli.get_int("reps", cfg.reps));
   cfg.csv = cli.has("csv");
+  // Workload selection: any registered traffic model is one flag away, for
+  // every bench uniformly; figure defaults are applied via default_traffic
+  // and never override these.
+  try {
+    if (cli.has("traffic")) {
+      cfg.base.traffic.kind = traffic_kind_from_string(cli.get("traffic"));
+      cfg.traffic_forced = true;
+    }
+    if (cli.has("trace")) {
+      cfg.base.traffic.kind = TrafficKind::kTrace;
+      cfg.base.traffic.trace_path = cli.get("trace");
+      // Fail fast on a missing/garbled file here, not from a sweep thread.
+      (void)validate_trace(cfg.base.traffic.trace_path);
+      cfg.traffic_forced = true;
+    }
+    if (cli.has("injection")) {
+      cfg.base.traffic.injection =
+          injection_process_from_string(cli.get("injection"));
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    std::exit(2);
+  }
+  if (cli.has("adv-offset")) {
+    cfg.base.traffic.adv_offset = static_cast<std::int32_t>(
+        cli.get_int("adv-offset", cfg.base.traffic.adv_offset));
+    cfg.adv_offset_forced = true;
+  }
+  cfg.base.traffic.shift_offset = static_cast<std::int32_t>(
+      cli.get_int("shift-offset", cfg.base.traffic.shift_offset));
+  cfg.base.traffic.hotspot_count = static_cast<std::int32_t>(
+      cli.get_int("hotspot-count", cfg.base.traffic.hotspot_count));
+  cfg.base.traffic.hotspot_fraction = cli.get_double(
+      "hotspot-fraction", cfg.base.traffic.hotspot_fraction);
+  cfg.base.traffic.mixed_uniform_fraction = cli.get_double(
+      "mixed-uniform-fraction", cfg.base.traffic.mixed_uniform_fraction);
+  cfg.base.traffic.burst_factor =
+      cli.get_double("burst-factor", cfg.base.traffic.burst_factor);
+  cfg.base.traffic.burst_len =
+      cli.get_double("burst-len", cfg.base.traffic.burst_len);
   // Fall back to the seed already in the params (a --config file may have
   // set one) rather than clobbering it with a literal.
   cfg.base.seed = static_cast<std::uint64_t>(
       cli.get_int("seed", static_cast<std::int64_t>(cfg.base.seed)));
   return cfg;
+}
+
+void default_traffic(BenchConfig& cfg, TrafficKind kind,
+                     std::int32_t adv_offset) {
+  if (!cfg.traffic_forced) cfg.base.traffic.kind = kind;
+  if (!cfg.adv_offset_forced) cfg.base.traffic.adv_offset = adv_offset;
+}
+
+std::string traffic_label(const TrafficParams& traffic) {
+  auto fixed2 = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+    return std::string(buf);
+  };
+  std::string label = to_string(traffic.kind);
+  switch (traffic.kind) {
+    case TrafficKind::kAdversarial:
+      label += "+";
+      label += std::to_string(traffic.adv_offset);
+      break;
+    case TrafficKind::kMixed:
+      label += "(un=";
+      label += fixed2(traffic.mixed_uniform_fraction);
+      label += ")";
+      break;
+    case TrafficKind::kShift:
+      label += "(";
+      label += std::to_string(traffic.shift_offset);
+      label += ")";
+      break;
+    case TrafficKind::kHotspot:
+      label += "(n=";
+      label += std::to_string(traffic.hotspot_count);
+      label += ",f=";
+      label += fixed2(traffic.hotspot_fraction);
+      label += ")";
+      break;
+    case TrafficKind::kTrace:
+      label += "(";
+      label += traffic.trace_path;
+      label += ")";
+      break;
+    default:
+      break;
+  }
+  if (traffic.injection == InjectionProcess::kBursty) label += "+bursty";
+  return label;
 }
 
 std::vector<double> parse_loads(const CliOptions& cli,
@@ -100,6 +189,7 @@ void run_load_sweep_figure(const BenchConfig& cfg,
   for (const RoutingKind r : routings) columns.push_back(to_string(r));
 
   ResultTable latency(columns);
+  ResultTable latency_p99(columns);
   ResultTable throughput(columns);
   ResultTable misrouted(columns);
 
@@ -123,9 +213,11 @@ void run_load_sweep_figure(const BenchConfig& cfg,
 
   for (std::size_t li = 0; li < loads.size(); ++li) {
     latency.begin_row();
+    latency_p99.begin_row();
     throughput.begin_row();
     misrouted.begin_row();
     latency.set("load", loads[li], 2);
+    latency_p99.set("load", loads[li], 2);
     throughput.set("load", loads[li], 2);
     misrouted.set("load", loads[li], 2);
     for (std::size_t ri = 0; ri < routings.size(); ++ri) {
@@ -135,8 +227,10 @@ void run_load_sweep_figure(const BenchConfig& cfg,
       // paper cuts the curves there); mark those points.
       if (res.backlog_per_node > 4.0) {
         latency.set(col, "sat");
+        latency_p99.set(col, "sat");
       } else {
         latency.set(col, res.latency_avg, 1);
+        latency_p99.set(col, res.latency_p99, 1);
       }
       throughput.set(col, res.throughput, 3);
       misrouted.set(col, 100.0 * res.misrouted_fraction, 1);
@@ -144,9 +238,12 @@ void run_load_sweep_figure(const BenchConfig& cfg,
   }
 
   std::cout << "# " << figure_title << "\n# scale=" << cfg.scale << " ("
-            << cfg.base.topo.nodes() << " nodes), warmup=" << cfg.warmup
-            << " measure=" << cfg.measure << " reps=" << cfg.reps << "\n\n";
+            << cfg.base.topo.nodes()
+            << " nodes), traffic=" << traffic_label(cfg.base.traffic)
+            << ", warmup=" << cfg.warmup << " measure=" << cfg.measure
+            << " reps=" << cfg.reps << "\n\n";
   emit(cfg, latency, "average packet latency (cycles) vs offered load");
+  emit(cfg, latency_p99, "p99 packet latency (cycles) vs offered load");
   emit(cfg, throughput, "accepted load (phits/node/cycle) vs offered load");
   emit(cfg, misrouted, "globally misrouted packets (%) vs offered load");
 }

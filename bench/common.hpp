@@ -6,6 +6,12 @@
 //   --scale=tiny|small|medium|paper   (default: $DFSIM_SCALE or "medium")
 //   --warmup=N --measure=N --reps=N   cycle/repetition overrides
 //   --loads=0.1,0.2,...               load points (steady-state figures)
+//   --traffic=<name>                  any registered traffic model (see
+//                                     traffic/spec.hpp); figures that don't
+//                                     mandate a pattern honor it
+//   --trace=path                      replay a recorded injection trace
+//   --adv-offset --shift-offset --hotspot-count --hotspot-fraction
+//   --injection=bernoulli|bursty --burst-factor --burst-len
 //   --csv                             machine-readable output
 //   --seed=N
 #pragma once
@@ -29,10 +35,23 @@ struct BenchConfig {
   std::int32_t reps = 1;
   bool csv = false;
   std::string scale = "medium";
+  // Which workload knobs the user pinned on the command line, so figure
+  // defaults (default_traffic) never clobber an explicit choice.
+  bool traffic_forced = false;
+  bool adv_offset_forced = false;
 };
 
 /// Parses common flags; figure-specific flags stay available via `cli`.
 [[nodiscard]] BenchConfig parse_common(const CliOptions& cli);
+
+/// Applies the figure's default pattern unless --traffic/--trace (and, for
+/// the offset, --adv-offset) already selected one.
+void default_traffic(BenchConfig& cfg, TrafficKind kind,
+                     std::int32_t adv_offset = 1);
+
+/// One-line description of the active workload for figure headers, e.g.
+/// "HOTSPOT(n=8,f=0.50)+bursty".
+[[nodiscard]] std::string traffic_label(const TrafficParams& traffic);
 
 /// Load points for a steady-state sweep: default per figure, overridable
 /// with --loads.

@@ -10,7 +10,8 @@ int main(int argc, char** argv) {
   using namespace dfsim::bench;
   const CliOptions cli(argc, argv);
   BenchConfig cfg = parse_common(cli);
-  cfg.base.traffic.kind = TrafficKind::kUniform;
+  // UN is the figure's default; --traffic swaps in any registered model.
+  default_traffic(cfg, TrafficKind::kUniform);
 
   std::vector<RoutingKind> routings{RoutingKind::kMin};
   for (const RoutingKind r : adaptive_lineup()) routings.push_back(r);

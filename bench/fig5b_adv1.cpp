@@ -10,8 +10,8 @@ int main(int argc, char** argv) {
   using namespace dfsim::bench;
   const CliOptions cli(argc, argv);
   BenchConfig cfg = parse_common(cli);
-  cfg.base.traffic.kind = TrafficKind::kAdversarial;
-  cfg.base.traffic.adv_offset = 1;
+  // ADV+1 is the figure's default; --traffic swaps in any registered model.
+  default_traffic(cfg, TrafficKind::kAdversarial, 1);
 
   std::vector<RoutingKind> routings{RoutingKind::kValiant};
   for (const RoutingKind r : adaptive_lineup()) routings.push_back(r);

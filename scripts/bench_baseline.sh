@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
 # Emits BENCH_micro.json: combined google-benchmark JSON for the three
-# micro-bench regression gates (counters, allocator, topology).
+# micro-bench regression gates (counters, allocator, topology), and
+# BENCH_workloads.json: the ablation_workloads CSV tables (tiny scale) as a
+# JSON entry, so workload-level regressions are tracked alongside the micro
+# gates.
 #
-# Usage: scripts/bench_baseline.sh [build-dir] [output-file]
+# Usage: scripts/bench_baseline.sh [build-dir] [micro-out] [workloads-out]
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT="${2:-BENCH_micro.json}"
+WORKLOADS_OUT="${3:-BENCH_workloads.json}"
 MIN_TIME="${DFSIM_BENCH_MIN_TIME:-0.2}"
 
 if [[ ! -d "$BUILD_DIR" ]]; then
@@ -43,5 +47,35 @@ for b in benches:
         merged[b] = json.load(f)
 with open(out, "w") as f:
     json.dump(merged, f, indent=1)
+print(f"wrote {out}")
+EOF
+
+# Workload ablation entry: tiny-scale CSV of every traffic model x routing,
+# parsed into {table title: [rows...]} for diffing across commits.
+if [[ ! -x "$BUILD_DIR/ablation_workloads" ]]; then
+  echo "error: $BUILD_DIR/ablation_workloads missing — build it first" >&2
+  exit 1
+fi
+WORKLOADS_ARGS=(--scale=tiny --warmup=500 --measure=1000 --csv)
+"$BUILD_DIR/ablation_workloads" "${WORKLOADS_ARGS[@]}" > "$tmpdir/workloads.csv"
+
+python3 - "$WORKLOADS_OUT" "$tmpdir/workloads.csv" "${WORKLOADS_ARGS[*]}" <<'EOF'
+import json, sys
+out, csv_path, args = sys.argv[1], sys.argv[2], sys.argv[3]
+tables, title, rows = {}, None, []
+with open(csv_path) as f:
+    for line in f:
+        line = line.strip()
+        if line.startswith("== "):
+            if title is not None:
+                tables[title] = rows
+            title, rows = line.strip("= "), []
+        elif line and not line.startswith("#"):
+            rows.append(line.split(","))
+if title is not None:
+    tables[title] = rows
+with open(out, "w") as f:
+    json.dump({"ablation_workloads": {"args": args, "tables": tables}}, f,
+              indent=1)
 print(f"wrote {out}")
 EOF

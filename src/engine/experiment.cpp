@@ -15,6 +15,9 @@ SteadyResult run_steady(const SimParams& params, const SteadyOptions& options) {
 
     const Simulator::Metrics& m = sim.metrics();
     acc.latency_avg += m.mean_latency();
+    acc.latency_p50 += m.latency_hist.quantile(0.50);
+    acc.latency_p95 += m.latency_hist.quantile(0.95);
+    acc.latency_p99 += m.latency_hist.quantile(0.99);
     acc.throughput += sim.throughput();
     acc.misrouted_fraction += m.misrouted_fraction();
     acc.local_misrouted_fraction +=
@@ -33,6 +36,9 @@ SteadyResult run_steady(const SimParams& params, const SteadyOptions& options) {
   }
   const auto n = static_cast<double>(reps);
   acc.latency_avg /= n;
+  acc.latency_p50 /= n;
+  acc.latency_p95 /= n;
+  acc.latency_p99 /= n;
   acc.throughput /= n;
   acc.misrouted_fraction /= n;
   acc.local_misrouted_fraction /= n;

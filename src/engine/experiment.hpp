@@ -19,6 +19,11 @@ struct SteadyOptions {
 
 struct SteadyResult {
   double latency_avg = 0.0;           // cycles, delivered packets
+  // Tail latency from the log2-bucketed histogram (util/histogram.hpp) —
+  // mean-only latency hides the tails skewed/bursty workloads create.
+  double latency_p50 = 0.0;
+  double latency_p95 = 0.0;
+  double latency_p99 = 0.0;
   double throughput = 0.0;            // accepted phits/node/cycle
   double misrouted_fraction = 0.0;    // globally misrouted share
   double local_misrouted_fraction = 0.0;

@@ -9,6 +9,14 @@ namespace {
 
 constexpr std::int16_t kReEvalWait = 4;  // head wait before re-deciding
 
+TrafficTopologyInfo dragonfly_traffic_info(const TopoParams& topo) {
+  TrafficTopologyInfo info;
+  info.nodes = topo.nodes();
+  info.groups = topo.groups();
+  info.nodes_per_group = topo.a * topo.p;
+  return info;  // default ring adv_group matches ADV+o on the dragonfly
+}
+
 }  // namespace
 
 Simulator::Simulator(const SimParams& params)
@@ -16,7 +24,9 @@ Simulator::Simulator(const SimParams& params)
       topo_(params.topo),
       counters_(params.topo.routers() * params.topo.radix(),
                 params.routing.counter_saturation),
-      rng_(params.seed) {
+      rng_(params.seed),
+      traffic_(params.traffic, dragonfly_traffic_info(params.topo),
+               params.packet_size_phits, params.seed) {
   radix_ = params_.topo.radix();
   fwd_ = params_.topo.forward_ports();
   vmax_ = std::max({params_.router.vcs_local, params_.router.vcs_global,
@@ -526,47 +536,26 @@ void Simulator::deliver_arrivals() {
 }
 
 void Simulator::inject_traffic() {
-  const double prob = params_.traffic.load / static_cast<double>(psize_);
-  const std::int32_t nodes = topo_.nodes();
-  const std::int32_t groups = topo_.groups();
-  const std::int32_t nodes_per_group = params_.topo.a * params_.topo.p;
-
-  for (NodeId n = 0; n < nodes; ++n) {
-    if (!rng_.next_bool(prob)) continue;
+  // All pattern logic lives in the traffic model (pre-resolved tables, own
+  // RNG); the engine just places whatever the model emits.
+  traffic_.begin_cycle(now_);
+  Injection inj;
+  while (traffic_.next(inj)) {
     ++metrics_.generated;
 
-    const RouterId r = topo_.router_of_node(n);
-    const PortIndex ip = fwd_ + (n % params_.topo.p);
+    const RouterId r = topo_.router_of_node(inj.src);
+    const PortIndex ip = fwd_ + (inj.src % params_.topo.p);
     const std::int32_t q = queue_index(r, ip, 0);
     if (q_free_[static_cast<std::size_t>(q)] <= 0) {
       ++metrics_.refused;
       continue;
     }
 
-    // Destination per pattern.
-    bool uniform = params_.traffic.kind == TrafficKind::kUniform;
-    if (params_.traffic.kind == TrafficKind::kMixed) {
-      uniform = rng_.next_bool(params_.traffic.mixed_uniform_fraction);
-    }
-    NodeId dest;
-    if (uniform) {
-      dest = static_cast<NodeId>(
-          rng_.next_below(static_cast<std::uint64_t>(nodes - 1)));
-      if (dest >= n) ++dest;
-    } else {
-      const GroupId g = topo_.group_of(r);
-      const GroupId gd =
-          (g + params_.traffic.adv_offset % groups + groups) % groups;
-      dest = gd * nodes_per_group +
-             static_cast<NodeId>(rng_.next_below(
-                 static_cast<std::uint64_t>(nodes_per_group)));
-    }
-
     const std::int32_t packet = pool_.allocate();
     pool_.reset_packet(packet);
     const auto pi = static_cast<std::size_t>(packet);
-    pool_.src[pi] = n;
-    pool_.dst[pi] = dest;
+    pool_.src[pi] = inj.src;
+    pool_.dst[pi] = inj.dst;
     pool_.birth[pi] = now_;
     if (params_.traffic.inorder_fraction > 0.0 &&
         rng_.next_bool(params_.traffic.inorder_fraction)) {
@@ -684,6 +673,7 @@ void Simulator::deliver(RouterId r, std::int32_t packet) {
   ++metrics_.delivered;
   metrics_.delivered_phits += psize_;
   metrics_.latency_sum += static_cast<double>(latency);
+  metrics_.latency_hist.add(latency);
   if (mis_global) ++metrics_.misrouted;
   if (mis_local) ++metrics_.local_misrouted;
   if (!mis_global && !mis_local) ++metrics_.minimal_path;
@@ -759,6 +749,11 @@ double Simulator::backlog_per_node() const {
 
 void Simulator::set_traffic(const TrafficParams& traffic) {
   params_.traffic = traffic;
+  traffic_.reset_spec(traffic);
+}
+
+void Simulator::start_trace_recording(std::size_t reserve_records) {
+  traffic_.start_recording(reserve_records);
 }
 
 void Simulator::enable_delivery_log() {
@@ -777,7 +772,7 @@ void Simulator::enable_ectn_monitor(std::int32_t async_mult,
 }
 
 std::int64_t Simulator::allocation_events() const {
-  return pool_.grow_events + log_growth_;
+  return pool_.grow_events + log_growth_ + traffic_.record_growth_events();
 }
 
 }  // namespace dfsim

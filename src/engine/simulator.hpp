@@ -33,6 +33,8 @@
 #include "router/allocator.hpp"
 #include "sim/config.hpp"
 #include "topo/dragonfly.hpp"
+#include "traffic/model.hpp"
+#include "util/histogram.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
@@ -56,6 +58,7 @@ class Simulator {
     std::int64_t minimal_path = 0;
     std::int64_t generated = 0;
     std::int64_t refused = 0;  // generation attempts dropped at a full queue
+    LatencyHistogram latency_hist;  // log2-bucketed, for p50/p95/p99
 
     [[nodiscard]] double mean_latency() const {
       return delivered > 0 ? latency_sum / static_cast<double>(delivered) : 0.0;
@@ -93,6 +96,21 @@ class Simulator {
 
   /// Swaps the traffic pattern mid-run (transient experiments).
   void set_traffic(const TrafficParams& traffic);
+  [[nodiscard]] const TrafficModel& traffic_model() const { return traffic_; }
+
+  /// Records every subsequent injection attempt as a (cycle, src, dst)
+  /// trace; replay it with TrafficKind::kTrace + traffic.trace_path (see
+  /// traffic/trace.hpp for the format). When recording starts at
+  /// construction, replay under the same SimParams and seed reproduces the
+  /// run bit-exactly: the traffic model draws from its own RNG, so the
+  /// routing RNG stream is unchanged. Recording after a warmup still
+  /// replays deterministically, but into a cold network (cycles are
+  /// re-based to the recording start and the warmup traffic is not in the
+  /// trace), so metrics need not match the recording run.
+  void start_trace_recording(std::size_t reserve_records = 1u << 16);
+  void write_recorded_trace(const std::string& path) const {
+    traffic_.write_recorded(path);
+  }
 
   /// Per-delivery records for birth-bucketed transient analysis.
   void enable_delivery_log();
@@ -219,7 +237,8 @@ class Simulator {
 
   // --- time, traffic, metrics
   Cycle now_ = 0;
-  Rng rng_;
+  Rng rng_;  // routing decisions only; traffic draws live in traffic_
+  TrafficModel traffic_;
   Metrics metrics_;
   Cycle measure_start_ = 0;
   bool log_deliveries_ = false;

@@ -15,16 +15,23 @@ std::string to_string(FbRouting routing) {
   return "?";
 }
 
-std::string to_string(FbTraffic traffic) {
-  switch (traffic) {
-    case FbTraffic::kUniform: return "UN";
-    case FbTraffic::kAdjacent: return "ADJ";
-  }
-  return "?";
+TrafficTopologyInfo fb_traffic_info(const FbParams& topo) {
+  TrafficTopologyInfo info;
+  info.nodes = topo.nodes();
+  info.groups = topo.routers();
+  info.nodes_per_group = topo.c;
+  const std::int32_t k = topo.k;
+  info.adv_group = [k](std::int32_t r, std::int32_t offset) {
+    const std::int32_t c0 = r % k;
+    return r - c0 + ((c0 + offset) % k + k) % k;
+  };
+  return info;
 }
 
 FbSimulator::FbSimulator(const FbConfig& config)
-    : config_(config), rng_(config.seed) {
+    : config_(config),
+      rng_(config.seed),
+      traffic_(config.traffic, fb_traffic_info(config.topo), 1, config.seed) {
   routers_ = config_.topo.routers();
   channels_ = config_.topo.channels();
   // Auto threshold: 3/4 of the injection heads aligned on one channel. Full
@@ -90,35 +97,22 @@ std::int32_t FbSimulator::dor_hops(RouterId from, RouterId to) const {
 }
 
 void FbSimulator::inject() {
-  const std::int32_t nodes = config_.topo.nodes();
-  const std::int32_t c = config_.topo.c;
-  for (NodeId node = 0; node < nodes; ++node) {
-    if (!rng_.next_bool(config_.load)) continue;
+  // Destinations come from the shared traffic subsystem; the row adversary
+  // of the Section VI-D bench is ADV+1 under fb_traffic_info's dim-0 ring.
+  traffic_.begin_cycle(now_);
+  Injection inj;
+  while (traffic_.next(inj)) {
     ++metrics_.generated;
-    auto& src = source_[static_cast<std::size_t>(node)];
+    auto& src = source_[static_cast<std::size_t>(inj.src)];
     const auto len = static_cast<std::int32_t>(src.size()) -
-                     source_head_[static_cast<std::size_t>(node)];
+                     source_head_[static_cast<std::size_t>(inj.src)];
     if (len >= config_.source_queue_packets) {
       ++metrics_.refused;
       continue;
     }
     Packet packet;
     packet.birth = now_;
-    const RouterId r = router_of(node);
-    if (config_.traffic == FbTraffic::kUniform) {
-      NodeId dest = static_cast<NodeId>(
-          rng_.next_below(static_cast<std::uint64_t>(nodes - 1)));
-      if (dest >= node) ++dest;
-      packet.dst = dest;
-    } else {
-      // Row adversary: all nodes of router R target router R+1 (mod k) in
-      // dimension 0, funnelling into one direct channel.
-      const std::int32_t k = config_.topo.k;
-      const std::int32_t c0 = coord(r, 0);
-      const RouterId dr = r - c0 + (c0 + 1) % k;
-      packet.dst = dr * c + static_cast<NodeId>(rng_.next_below(
-                                static_cast<std::uint64_t>(c)));
-    }
+    packet.dst = inj.dst;
     src.push_back(packet);
   }
 }
@@ -307,6 +301,7 @@ void FbSimulator::deliver(Packet& packet) {
       static_cast<Cycle>(packet.hops) * config_.hop_latency + 1;
   ++metrics_.delivered;
   metrics_.latency_sum += static_cast<double>(latency);
+  metrics_.latency_hist.add(latency);
   if (packet.misrouted) ++metrics_.misrouted;
   if (log_deliveries_) {
     deliveries_.push_back(Delivery{packet.birth, latency, packet.misrouted});
@@ -347,7 +342,14 @@ double FbSimulator::backlog_per_node() const {
          static_cast<double>(config_.topo.nodes());
 }
 
-void FbSimulator::set_traffic(FbTraffic traffic) { config_.traffic = traffic; }
+void FbSimulator::set_traffic(const TrafficParams& traffic) {
+  config_.traffic = traffic;
+  traffic_.reset_spec(traffic);
+}
+
+void FbSimulator::start_trace_recording(std::size_t reserve_records) {
+  traffic_.start_recording(reserve_records);
+}
 
 void FbSimulator::enable_delivery_log() {
   log_deliveries_ = true;

@@ -14,6 +14,9 @@
 #include <string>
 #include <vector>
 
+#include "traffic/model.hpp"
+#include "traffic/spec.hpp"
+#include "util/histogram.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
@@ -35,16 +38,21 @@ struct FbParams {
 };
 
 enum class FbRouting : std::uint8_t { kMin, kValiant, kUgalQueue, kContention };
-enum class FbTraffic : std::uint8_t { kUniform, kAdjacent };
 
 [[nodiscard]] std::string to_string(FbRouting routing);
-[[nodiscard]] std::string to_string(FbTraffic traffic);
+
+/// Traffic-model grouping for the flattened butterfly: every router is one
+/// "group" of its c terminals, and the adversarial mapping advances the
+/// dimension-0 coordinate — ADV+1 is the row adversary the Section VI-D
+/// bench uses (all nodes of router R target router R+1 in dim 0).
+[[nodiscard]] TrafficTopologyInfo fb_traffic_info(const FbParams& topo);
 
 struct FbConfig {
   FbParams topo;
   FbRouting routing = FbRouting::kMin;
-  FbTraffic traffic = FbTraffic::kUniform;
-  double load = 0.3;                  // packets/node/cycle
+  /// Shared workload spec (traffic/spec.hpp); load is packets/node/cycle
+  /// here (unit packet size).
+  TrafficParams traffic;
   std::uint64_t seed = 1;
   std::int32_t buf_packets = 16;      // per output channel queue
   std::int32_t source_queue_packets = 512;
@@ -68,6 +76,7 @@ class FbSimulator {
     std::int64_t misrouted = 0;
     std::int64_t generated = 0;
     std::int64_t refused = 0;
+    LatencyHistogram latency_hist;
 
     [[nodiscard]] double mean_latency() const {
       return delivered > 0 ? latency_sum / static_cast<double>(delivered)
@@ -91,7 +100,14 @@ class FbSimulator {
   [[nodiscard]] double throughput() const;
   [[nodiscard]] double backlog_per_node() const;
 
-  void set_traffic(FbTraffic traffic);
+  void set_traffic(const TrafficParams& traffic);
+  [[nodiscard]] const TrafficModel& traffic_model() const { return traffic_; }
+  /// Trace record/replay, same format and determinism contract as the
+  /// dragonfly engine (traffic/trace.hpp).
+  void start_trace_recording(std::size_t reserve_records = 1u << 16);
+  void write_recorded_trace(const std::string& path) const {
+    traffic_.write_recorded(path);
+  }
   void enable_delivery_log();
   [[nodiscard]] const std::vector<Delivery>& delivery_log() const {
     return deliveries_;
@@ -156,7 +172,8 @@ class FbSimulator {
   std::vector<std::int16_t> counters_;        // injection-head contention
 
   Cycle now_ = 0;
-  Rng rng_;
+  Rng rng_;  // routing decisions only; traffic draws live in traffic_
+  TrafficModel traffic_;
   Metrics metrics_;
   Cycle measure_start_ = 0;
   bool log_deliveries_ = false;

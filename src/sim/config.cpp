@@ -37,15 +37,6 @@ RoutingKind routing_kind_from_string(const std::string& name) {
   throw std::invalid_argument("unknown routing mechanism: " + name);
 }
 
-std::string to_string(TrafficKind kind) {
-  switch (kind) {
-    case TrafficKind::kUniform: return "UN";
-    case TrafficKind::kAdversarial: return "ADV";
-    case TrafficKind::kMixed: return "MIXED";
-  }
-  return "?";
-}
-
 namespace presets {
 
 SimParams paper() {

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <string>
 
+#include "traffic/spec.hpp"
 #include "util/types.hpp"
 
 namespace dfsim {
@@ -31,13 +32,9 @@ enum class RoutingKind : std::uint8_t {
 [[nodiscard]] std::string to_string(RoutingKind kind);
 [[nodiscard]] RoutingKind routing_kind_from_string(const std::string& name);
 
-enum class TrafficKind : std::uint8_t {
-  kUniform,      // UN: uniform random destinations
-  kAdversarial,  // ADV+o: every node in group G sends to group G+o
-  kMixed,        // blend of UN and ADV+o
-};
-
-[[nodiscard]] std::string to_string(TrafficKind kind);
+// TrafficKind / InjectionProcess / TrafficParams moved to traffic/spec.hpp:
+// the workload subsystem (traffic/model.hpp) interprets them for both
+// simulators; this header re-exports them via the include above.
 
 /// Candidate set for a global misroute (Section V-A): MM+L may commit a local
 /// hop to reach any global link of the group; CRG restricts candidates to the
@@ -103,16 +100,6 @@ struct RoutingParams {
   // window of counter values below the threshold instead of a hard cutoff.
   bool statistical_trigger = false;
   std::int32_t statistical_window = 4;
-};
-
-struct TrafficParams {
-  TrafficKind kind = TrafficKind::kUniform;
-  double load = 0.5;                    // offered phits/node/cycle
-  std::int32_t adv_offset = 1;          // ADV+o group offset
-  double mixed_uniform_fraction = 0.5;  // kMixed: share of UN packets
-  /// Fraction of traffic pinned to the minimal path (in-order delivery,
-  /// Section VI-C remedy (a)).
-  double inorder_fraction = 0.0;
 };
 
 struct SimParams {

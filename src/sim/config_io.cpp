@@ -87,16 +87,18 @@ void apply_param(SimParams& p, const std::string& key,
   if (key == "routing.allow_local_misroute") { p.routing.allow_local_misroute = to_bool(key, value); return; }
   if (key == "routing.statistical_trigger") { p.routing.statistical_trigger = to_bool(key, value); return; }
   if (key == "routing.statistical_window") { p.routing.statistical_window = to_i32(key, value); return; }
-  // Traffic
-  if (key == "traffic.kind") {
-    if (value == "UN" || value == "uniform") { p.traffic.kind = TrafficKind::kUniform; return; }
-    if (value == "ADV" || value == "adversarial") { p.traffic.kind = TrafficKind::kAdversarial; return; }
-    if (value == "MIXED" || value == "mixed") { p.traffic.kind = TrafficKind::kMixed; return; }
-    throw std::invalid_argument("config: bad traffic.kind '" + value + "'");
-  }
+  // Traffic (names per traffic/spec.cpp; any registered model is selectable)
+  if (key == "traffic.kind") { p.traffic.kind = traffic_kind_from_string(value); return; }
   if (key == "traffic.load") { p.traffic.load = to_f64(key, value); return; }
   if (key == "traffic.adv_offset") { p.traffic.adv_offset = to_i32(key, value); return; }
   if (key == "traffic.mixed_uniform_fraction") { p.traffic.mixed_uniform_fraction = to_f64(key, value); return; }
+  if (key == "traffic.shift_offset") { p.traffic.shift_offset = to_i32(key, value); return; }
+  if (key == "traffic.hotspot_count") { p.traffic.hotspot_count = to_i32(key, value); return; }
+  if (key == "traffic.hotspot_fraction") { p.traffic.hotspot_fraction = to_f64(key, value); return; }
+  if (key == "traffic.injection") { p.traffic.injection = injection_process_from_string(value); return; }
+  if (key == "traffic.burst_factor") { p.traffic.burst_factor = to_f64(key, value); return; }
+  if (key == "traffic.burst_len") { p.traffic.burst_len = to_f64(key, value); return; }
+  if (key == "traffic.trace_path") { p.traffic.trace_path = value; p.traffic.kind = TrafficKind::kTrace; return; }
   if (key == "traffic.inorder_fraction") { p.traffic.inorder_fraction = to_f64(key, value); return; }
   // Top level
   if (key == "packet_size_phits") { p.packet_size_phits = to_i32(key, value); return; }

@@ -1,0 +1,265 @@
+#include "traffic/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dfsim {
+
+namespace {
+
+// Keeps the model's draw sequence distinct from the simulator's routing RNG,
+// which splitmix-expands the raw seed.
+constexpr std::uint64_t kTrafficSeedSalt = 0x7452414646494353ull;
+
+}  // namespace
+
+TrafficModel::TrafficModel(const TrafficParams& spec,
+                           const TrafficTopologyInfo& topo,
+                           std::int32_t packet_size_phits, std::uint64_t seed)
+    : spec_(spec),
+      topo_(topo),
+      psize_(std::max(1, packet_size_phits)),
+      rng_(seed ^ kTrafficSeedSalt) {
+  if (topo_.nodes < 1 || topo_.groups < 1 ||
+      topo_.nodes_per_group * topo_.groups != topo_.nodes) {
+    throw std::invalid_argument(
+        "traffic: topology info must partition nodes into groups");
+  }
+  build_tables();
+}
+
+void TrafficModel::reset_spec(const TrafficParams& spec) {
+  spec_ = spec;
+  build_tables();
+}
+
+void TrafficModel::build_tables() {
+  const std::int32_t nodes = topo_.nodes;
+  const std::int32_t groups = topo_.groups;
+  const std::int32_t npg = topo_.nodes_per_group;
+  inject_prob_ =
+      std::clamp(spec_.load / static_cast<double>(psize_), 0.0, 1.0);
+
+  // Adversarial group bases: the offset is normalized ONCE here, not per
+  // injected packet, and topologies with structure beyond a ring (fbfly
+  // rows) supply their own mapping.
+  if (spec_.kind == TrafficKind::kAdversarial ||
+      spec_.kind == TrafficKind::kMixed) {
+    adv_base_.assign(static_cast<std::size_t>(groups), 0);
+    for (std::int32_t g = 0; g < groups; ++g) {
+      std::int32_t gd;
+      if (topo_.adv_group) {
+        gd = topo_.adv_group(g, spec_.adv_offset);
+      } else {
+        gd = (g + ((spec_.adv_offset % groups) + groups) % groups) % groups;
+      }
+      if (gd < 0 || gd >= groups) {
+        throw std::invalid_argument("traffic: adv_group out of range");
+      }
+      adv_base_[static_cast<std::size_t>(g)] = gd * npg;
+    }
+  }
+
+  // Permutation patterns: one table build, hot path is a single load.
+  const bool is_perm = spec_.kind == TrafficKind::kShift ||
+                       spec_.kind == TrafficKind::kBitComplement ||
+                       spec_.kind == TrafficKind::kTranspose ||
+                       spec_.kind == TrafficKind::kTornado ||
+                       spec_.kind == TrafficKind::kGroupLocal;
+  if (is_perm) {
+    perm_.assign(static_cast<std::size_t>(nodes), 0);
+    switch (spec_.kind) {
+      case TrafficKind::kShift: {
+        std::int32_t s = ((spec_.shift_offset % nodes) + nodes) % nodes;
+        if (s == 0) s = 1 % nodes;  // identity would be pure self-traffic
+        for (std::int32_t n = 0; n < nodes; ++n) {
+          perm_[static_cast<std::size_t>(n)] = (n + s) % nodes;
+        }
+        break;
+      }
+      case TrafficKind::kBitComplement:
+        for (std::int32_t n = 0; n < nodes; ++n) {
+          perm_[static_cast<std::size_t>(n)] = nodes - 1 - n;
+        }
+        break;
+      case TrafficKind::kTranspose: {
+        const auto w = static_cast<std::int32_t>(
+            std::sqrt(static_cast<double>(nodes)));
+        for (std::int32_t n = 0; n < nodes; ++n) {
+          perm_[static_cast<std::size_t>(n)] =
+              n < w * w ? (n % w) * w + n / w : n;
+        }
+        break;
+      }
+      case TrafficKind::kTornado: {
+        const std::int32_t t = std::max(1, (groups - 1) / 2);
+        for (std::int32_t n = 0; n < nodes; ++n) {
+          const std::int32_t g = n / npg;
+          perm_[static_cast<std::size_t>(n)] =
+              groups > 1 ? ((g + t) % groups) * npg + n % npg
+                         : (n + std::max(1, nodes / 2)) % nodes;
+        }
+        break;
+      }
+      case TrafficKind::kGroupLocal:
+        for (std::int32_t n = 0; n < nodes; ++n) {
+          const std::int32_t g = n / npg;
+          perm_[static_cast<std::size_t>(n)] = g * npg + (n % npg + 1) % npg;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  if (spec_.kind == TrafficKind::kHotspot) {
+    const std::int32_t count =
+        std::clamp(spec_.hotspot_count, 1, nodes);
+    hot_nodes_.assign(static_cast<std::size_t>(count), 0);
+    // Spread the hot set evenly so it spans groups (worst case for remote
+    // congestion detection).
+    for (std::int32_t i = 0; i < count; ++i) {
+      hot_nodes_[static_cast<std::size_t>(i)] =
+          static_cast<std::int32_t>((static_cast<std::int64_t>(i) * nodes) /
+                                    count);
+    }
+  }
+
+  // Bursty on/off process: beta = 1/burst_len, on-state rate
+  // p_on = burst_factor * load, and alpha chosen so the stationary ON share
+  // (alpha / (alpha + beta)) times p_on equals the offered load exactly.
+  if (spec_.injection == InjectionProcess::kBursty) {
+    p_on_ = std::clamp(spec_.burst_factor * inject_prob_, inject_prob_, 1.0);
+    const double duty = p_on_ > 0.0 ? inject_prob_ / p_on_ : 1.0;
+    beta_ = 1.0 / std::max(1.0, spec_.burst_len);
+    if (duty >= 1.0 - 1e-12) {
+      alpha_ = 1.0;
+      beta_ = 0.0;
+    } else {
+      alpha_ = beta_ * duty / (1.0 - duty);
+    }
+    on_.assign(static_cast<std::size_t>(nodes), 0);
+    // Start from the stationary distribution so measurement windows are
+    // unbiased from the first cycle.
+    for (auto& st : on_) st = rng_.next_bool(duty) ? 1 : 0;
+  }
+
+  if (spec_.kind == TrafficKind::kTrace) {
+    replay_ = read_trace(spec_.trace_path);
+    replay_cursor_ = 0;
+    replay_base_ = -1;
+  }
+}
+
+void TrafficModel::begin_cycle(Cycle now) {
+  now_ = now;
+  node_cursor_ = 0;
+  if (spec_.kind == TrafficKind::kTrace && replay_base_ < 0) {
+    replay_base_ = now;
+  }
+  if (recording_ && record_base_ < 0) record_base_ = now;
+}
+
+bool TrafficModel::draw_injects(NodeId src) {
+  if (spec_.injection == InjectionProcess::kBernoulli) {
+    return rng_.next_bool(inject_prob_);
+  }
+  std::uint8_t& st = on_[static_cast<std::size_t>(src)];
+  if (st != 0) {
+    if (beta_ > 0.0 && rng_.next_bool(beta_)) st = 0;
+  } else if (rng_.next_bool(alpha_)) {
+    st = 1;
+  }
+  return st != 0 && rng_.next_bool(p_on_);
+}
+
+NodeId TrafficModel::uniform_excluding(NodeId src) {
+  const std::int32_t nodes = topo_.nodes;
+  if (nodes <= 1) return src;
+  auto dest = static_cast<NodeId>(
+      rng_.next_below(static_cast<std::uint64_t>(nodes - 1)));
+  if (dest >= src) ++dest;
+  return dest;
+}
+
+NodeId TrafficModel::draw_dest(NodeId src) {
+  switch (spec_.kind) {
+    case TrafficKind::kUniform:
+      return uniform_excluding(src);
+    case TrafficKind::kMixed:
+      if (rng_.next_bool(spec_.mixed_uniform_fraction)) {
+        return uniform_excluding(src);
+      }
+      [[fallthrough]];
+    case TrafficKind::kAdversarial: {
+      const std::int32_t npg = topo_.nodes_per_group;
+      return adv_base_[static_cast<std::size_t>(src / npg)] +
+             static_cast<NodeId>(
+                 rng_.next_below(static_cast<std::uint64_t>(npg)));
+    }
+    case TrafficKind::kShift:
+    case TrafficKind::kBitComplement:
+    case TrafficKind::kTranspose:
+    case TrafficKind::kTornado:
+    case TrafficKind::kGroupLocal:
+      return perm_[static_cast<std::size_t>(src)];
+    case TrafficKind::kHotspot: {
+      if (rng_.next_bool(spec_.hotspot_fraction)) {
+        const NodeId hot = hot_nodes_[static_cast<std::size_t>(
+            rng_.next_below(hot_nodes_.size()))];
+        if (hot != src) return hot;
+      }
+      return uniform_excluding(src);
+    }
+    case TrafficKind::kTrace:
+      return src;  // replay never draws; next() serves records directly
+  }
+  return src;
+}
+
+bool TrafficModel::next(Injection& out) {
+  if (spec_.kind == TrafficKind::kTrace) {
+    const Cycle rel = now_ - replay_base_;
+    while (replay_cursor_ < replay_.size() &&
+           replay_[replay_cursor_].cycle < rel) {
+      ++replay_cursor_;  // records from before replay started (or a re-base)
+    }
+    if (replay_cursor_ < replay_.size() &&
+        replay_[replay_cursor_].cycle == rel) {
+      const TraceRecord& rec = replay_[replay_cursor_++];
+      out.src = rec.src;
+      out.dst = rec.dst;
+    } else {
+      return false;
+    }
+  } else {
+    for (;;) {
+      if (node_cursor_ >= topo_.nodes) return false;
+      const NodeId n = node_cursor_++;
+      if (!draw_injects(n)) continue;
+      out.src = n;
+      out.dst = draw_dest(n);
+      break;
+    }
+  }
+  if (recording_) {
+    const bool grew = recorded_.size() == recorded_.capacity();
+    recorded_.push_back(TraceRecord{now_ - record_base_, out.src, out.dst});
+    if (grew) ++record_growth_;
+  }
+  return true;
+}
+
+void TrafficModel::start_recording(std::size_t reserve_records) {
+  recording_ = true;
+  record_base_ = -1;
+  recorded_.clear();
+  recorded_.reserve(reserve_records);
+}
+
+void TrafficModel::write_recorded(const std::string& path) const {
+  write_trace(path, recorded_);
+}
+
+}  // namespace dfsim

@@ -56,6 +56,39 @@ int main() {
     assert(p.packet_size_phits == 4);
   }
 
+  // Traffic-subsystem keys: every model and injection knob is selectable.
+  {
+    SimParams p = presets::tiny();
+    apply_param(p, "traffic.kind", "hotspot");
+    assert(p.traffic.kind == TrafficKind::kHotspot);
+    apply_param(p, "traffic.hotspot_count", "8");
+    apply_param(p, "traffic.hotspot_fraction", "0.4");
+    assert(p.traffic.hotspot_count == 8);
+    assert(p.traffic.hotspot_fraction == 0.4);
+    apply_param(p, "traffic.kind", "shift");
+    apply_param(p, "traffic.shift_offset", "9");
+    assert(p.traffic.kind == TrafficKind::kShift);
+    assert(p.traffic.shift_offset == 9);
+    apply_param(p, "traffic.injection", "bursty");
+    apply_param(p, "traffic.burst_factor", "6");
+    apply_param(p, "traffic.burst_len", "25");
+    assert(p.traffic.injection == InjectionProcess::kBursty);
+    assert(p.traffic.burst_factor == 6.0);
+    assert(p.traffic.burst_len == 25.0);
+    // trace_path implies kTrace.
+    apply_param(p, "traffic.trace_path", "run.dftrace");
+    assert(p.traffic.kind == TrafficKind::kTrace);
+    assert(p.traffic.trace_path == "run.dftrace");
+
+    bool threw = false;
+    try {
+      apply_param(p, "traffic.kind", "fractal");
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+    assert(threw);
+  }
+
   // Errors: unknown key, bad value, missing file.
   {
     SimParams p = presets::tiny();

@@ -8,13 +8,21 @@
 
 namespace {
 
+// The row adversary ("ADJ") is ADV+1 under the FB traffic grouping.
+dfsim::TrafficParams fb_traffic(dfsim::TrafficKind kind, double load) {
+  dfsim::TrafficParams traffic;
+  traffic.kind = kind;
+  traffic.adv_offset = 1;
+  traffic.load = load;
+  return traffic;
+}
+
 dfsim::fbfly::FbSimulator make(dfsim::fbfly::FbRouting routing,
-                               dfsim::fbfly::FbTraffic traffic, double load) {
+                               dfsim::TrafficKind kind, double load) {
   dfsim::fbfly::FbConfig cfg;
   cfg.topo = dfsim::fbfly::FbParams{4, 2, 4};
   cfg.routing = routing;
-  cfg.traffic = traffic;
-  cfg.load = load;
+  cfg.traffic = fb_traffic(kind, load);
   cfg.seed = 3;
   return dfsim::fbfly::FbSimulator(cfg);
 }
@@ -33,14 +41,14 @@ int main() {
   // Uniform light load: MIN delivers ~offered load, zero misrouting, CB
   // matches it (no false triggers).
   {
-    FbSimulator min_sim = make(FbRouting::kMin, FbTraffic::kUniform, 0.2);
+    FbSimulator min_sim = make(FbRouting::kMin, TrafficKind::kUniform, 0.2);
     min_sim.run(1000);
     min_sim.start_measurement();
     min_sim.run(2000);
     assert(min_sim.throughput() > 0.15);
     assert(min_sim.metrics().misrouted_fraction() == 0.0);
 
-    FbSimulator cb_sim = make(FbRouting::kContention, FbTraffic::kUniform, 0.2);
+    FbSimulator cb_sim = make(FbRouting::kContention, TrafficKind::kUniform, 0.2);
     cb_sim.run(1000);
     cb_sim.start_measurement();
     cb_sim.run(2000);
@@ -51,12 +59,12 @@ int main() {
   // Row adversary at a load past the single-channel cap (1/c = 0.25): MIN
   // saturates; CB and VAL recover bandwidth through nonminimal paths.
   {
-    FbSimulator min_sim = make(FbRouting::kMin, FbTraffic::kAdjacent, 0.5);
+    FbSimulator min_sim = make(FbRouting::kMin, TrafficKind::kAdversarial, 0.5);
     min_sim.run(1000);
     min_sim.start_measurement();
     min_sim.run(2000);
 
-    FbSimulator cb_sim = make(FbRouting::kContention, FbTraffic::kAdjacent, 0.5);
+    FbSimulator cb_sim = make(FbRouting::kContention, TrafficKind::kAdversarial, 0.5);
     cb_sim.run(1000);
     cb_sim.start_measurement();
     cb_sim.run(2000);
@@ -72,10 +80,10 @@ int main() {
 
   // Delivery log + mid-run traffic switch (the transient bench workflow).
   {
-    FbSimulator sim = make(FbRouting::kContention, FbTraffic::kUniform, 0.3);
+    FbSimulator sim = make(FbRouting::kContention, TrafficKind::kUniform, 0.3);
     sim.run(500);
     const Cycle switch_cycle = sim.now();
-    sim.set_traffic(FbTraffic::kAdjacent);
+    sim.set_traffic(fb_traffic(TrafficKind::kAdversarial, 0.3));
     sim.enable_delivery_log();
     sim.run(1000);
     assert(!sim.delivery_log().empty());

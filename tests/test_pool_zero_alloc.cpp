@@ -51,5 +51,24 @@ int main() {
     return EXIT_FAILURE;
   }
 
+  // And with the traffic subsystem's skewed/bursty models active: hotspot
+  // destinations under a bursty on/off injection process must stay on the
+  // pre-resolved zero-allocation hot path too.
+  SimParams hot = presets::medium();
+  hot.routing.kind = RoutingKind::kCbBase;
+  hot.traffic.kind = TrafficKind::kHotspot;
+  hot.traffic.hotspot_count = 16;
+  hot.traffic.injection = InjectionProcess::kBursty;
+  hot.traffic.load = 0.25;
+  Simulator sim3(hot);
+  sim3.run(1500);
+  const std::int64_t base3 = sim3.allocation_events();
+  sim3.run(1000);
+  if (sim3.allocation_events() != base3) {
+    std::fprintf(stderr, "hotspot/bursty run allocated after warmup\n");
+    return EXIT_FAILURE;
+  }
+  assert(sim3.metrics().delivered > 0);
+
   return EXIT_SUCCESS;
 }

@@ -2,51 +2,45 @@
 //
 // The paper argues the mechanism transfers to any topology where the
 // minimal path (and hence the counter to consult) is unique, naming the
-// Flattened Butterfly with Dimension-Order Routing. This bench runs the FB
-// companion simulator and reproduces the paper's headline ordering there:
+// Flattened Butterfly with Dimension-Order Routing. Since the engine went
+// topology-generic this bench runs the *same* simulator as the dragonfly
+// figures with the FlattenedButterflyTopology plugin, and reproduces the
+// paper's headline ordering there:
 //   * UN:  CB matches MIN's optimal latency (no false triggers);
 //          VAL pays the detour everywhere.
 //   * ADJ: MIN caps at the single direct channel; CB recovers the
-//          nonminimal bandwidth like VAL/UGAL-q, while adapting from the
-//          injection heads rather than from queue backpressure.
+//          nonminimal bandwidth like VAL/UGAL-L, while adapting from the
+//          contention counters rather than from queue backpressure.
 #include <iostream>
 #include <vector>
 
 #include "common.hpp"
-#include "fbfly/fb_simulator.hpp"
-
-namespace {
-
-struct Row {
-  double load;
-  std::vector<double> latency;
-  std::vector<double> throughput;
-  std::vector<double> misrouted;
-  std::vector<bool> saturated;
-};
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace dfsim;
   using namespace dfsim::bench;
-  using namespace dfsim::fbfly;
   const CliOptions cli(argc, argv);
   const auto k = static_cast<std::int32_t>(cli.get_int("k", 4));
   const auto n = static_cast<std::int32_t>(cli.get_int("n", 2));
   const auto c = static_cast<std::int32_t>(cli.get_int("c", 4));
+  const auto buf = static_cast<std::int32_t>(cli.get_int("buf", 16));
   const auto warmup = static_cast<Cycle>(cli.get_int("warmup", 2000));
   const auto measure = static_cast<Cycle>(cli.get_int("measure", 3000));
   const bool csv = cli.has("csv");
 
-  const FbParams topo{k, n, c};
-  const std::vector<FbRouting> mechanisms{
-      FbRouting::kMin, FbRouting::kValiant, FbRouting::kUgalQueue,
-      FbRouting::kContention};
+  SimParams base = presets::fbfly(k, n, c, buf);
+  base.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  if (cli.has("threshold")) {
+    base.routing.contention_threshold =
+        static_cast<std::int32_t>(cli.get_int("threshold", 0));
+  }
+  const std::vector<RoutingKind> mechanisms{
+      RoutingKind::kMin, RoutingKind::kValiant, RoutingKind::kUgalL,
+      RoutingKind::kCbBase};
 
   std::cout << "# Section VI-D — contention counters on a " << k << "-ary "
-            << n << "-flat flattened butterfly (" << topo.nodes()
-            << " nodes, c=" << c << ")\n\n";
+            << n << "-flat flattened butterfly (" << base.fbfly.nodes()
+            << " nodes, c=" << c << "), unified engine\n\n";
 
   // "ADJ" (the row adversary) is ADV+1 under the FB traffic grouping: all
   // nodes of router R target router R+1 in dimension 0.
@@ -55,70 +49,15 @@ int main(int argc, char** argv) {
   TrafficParams adjacent;
   adjacent.kind = TrafficKind::kAdversarial;
   adjacent.adv_offset = 1;
-  const struct {
-    const char* name;
-    TrafficParams traffic;
-    std::vector<double> loads;
-  } scenarios[] = {
+  const std::vector<AblationScenario> scenarios{
       {"UN", uniform, {0.1, 0.3, 0.5, 0.7, 0.9}},
       {"ADJ", adjacent, {0.1, 0.2, 0.3, 0.4, 0.5, 0.6}},
   };
 
-  for (const auto& scenario : scenarios) {
-    std::vector<Row> rows;
-    for (const double load : scenario.loads) {
-      Row row;
-      row.load = load;
-      for (const FbRouting mechanism : mechanisms) {
-        FbConfig cfg;
-        cfg.topo = topo;
-        cfg.routing = mechanism;
-        cfg.traffic = scenario.traffic;
-        cfg.traffic.load = load;
-        cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
-        FbSimulator sim(cfg);
-        sim.run(warmup);
-        sim.start_measurement();
-        sim.run(measure);
-        row.latency.push_back(sim.metrics().mean_latency());
-        row.throughput.push_back(sim.throughput());
-        row.misrouted.push_back(100.0 * sim.metrics().misrouted_fraction());
-        row.saturated.push_back(sim.backlog_per_node() > 4.0);
-      }
-      rows.push_back(std::move(row));
-    }
-
-    for (const char* metric : {"latency", "throughput", "misrouted_pct"}) {
-      std::vector<std::string> columns{"load"};
-      for (const FbRouting m : mechanisms) columns.push_back(to_string(m));
-      ResultTable table(columns);
-      for (const Row& row : rows) {
-        table.begin_row();
-        table.set("load", row.load, 2);
-        for (std::size_t mi = 0; mi < mechanisms.size(); ++mi) {
-          const std::string col = to_string(mechanisms[mi]);
-          if (metric == std::string("latency")) {
-            if (row.saturated[mi]) {
-              table.set(col, "sat");
-            } else {
-              table.set(col, row.latency[mi], 1);
-            }
-          } else if (metric == std::string("throughput")) {
-            table.set(col, row.throughput[mi], 3);
-          } else {
-            table.set(col, row.misrouted[mi], 1);
-          }
-        }
-      }
-      std::cout << "== " << scenario.name << " — " << metric << " ==\n";
-      if (csv) {
-        table.write_csv(std::cout);
-      } else {
-        table.write_pretty(std::cout);
-      }
-      std::cout << "\n";
-    }
-  }
+  SteadyOptions options;
+  options.warmup = warmup;
+  options.measure = measure;
+  run_scenario_tables(base, mechanisms, scenarios, options, csv, 2);
 
   std::cout << "Reading: same shape as the Dragonfly figures — CB rides MIN\n"
                "under UN (zero misrouting) and recovers the nonminimal\n"

@@ -1,22 +1,21 @@
 // Section VI-D x Figure 7: trigger adaptation speed on the Flattened
-// Butterfly.
+// Butterfly, now on the unified engine.
 //
 // The paper's transient experiment (Figure 7) shows contention counters
 // adapting to a UN -> adversarial switch almost immediately while
 // credit/queue-based triggers need the queues of the minimal path to fill
 // first — and Figure 8 shows the queue-based delay growing with the buffer
 // size while the counter-based response stays put. This bench repeats both
-// on the FB companion simulator: after warming up with uniform traffic the
-// pattern flips to the row adversary at t=0; deliveries are bucketed by
-// *birth* window (the paper's methodology) and the misrouted share and mean
-// latency per window are printed for the queue trigger at two buffer depths
-// and the counter trigger.
+// on the flattened-butterfly topology plugin: after warming up with uniform
+// traffic the pattern flips to the row adversary at t=0; deliveries are
+// bucketed by *birth* window (the paper's methodology) and the misrouted
+// share and mean latency per window are printed for the queue trigger
+// (UGAL-L) at two buffer depths and the counter trigger (Base).
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "common.hpp"
-#include "fbfly/fb_simulator.hpp"
 
 namespace {
 
@@ -31,7 +30,6 @@ struct Series {
 int main(int argc, char** argv) {
   using namespace dfsim;
   using namespace dfsim::bench;
-  using namespace dfsim::fbfly;
   const CliOptions cli(argc, argv);
   const auto k = static_cast<std::int32_t>(cli.get_int("k", 4));
   const auto n = static_cast<std::int32_t>(cli.get_int("n", 2));
@@ -45,36 +43,34 @@ int main(int argc, char** argv) {
   const auto windows = static_cast<std::int32_t>(cli.get_int("windows", 14));
   const bool csv = cli.has("csv");
 
-  const FbParams topo{k, n, c};
   std::cout << "# Figure 7/8 story on the " << k << "-ary " << n << "-flat ("
-            << topo.nodes() << " nodes, Section VI-D): UN -> ADJ at t=0, "
-            << "load " << load << "\n\n";
+            << FbflyParams{k, n, c}.nodes()
+            << " nodes, Section VI-D): UN -> ADJ at t=0, load " << load
+            << "\n\n";
 
   struct Variant {
     std::string name;
-    FbRouting routing;
+    RoutingKind routing;
     std::int32_t buf;
   };
   const std::vector<Variant> variants{
-      {"UGALq_b8", FbRouting::kUgalQueue, 8},
-      {"UGALq_b32", FbRouting::kUgalQueue, 32},
-      {"CB_b8", FbRouting::kContention, 8},
-      {"CB_b32", FbRouting::kContention, 32},
+      {"UGAL_b8", RoutingKind::kUgalL, 8},
+      {"UGAL_b32", RoutingKind::kUgalL, 32},
+      {"CB_b8", RoutingKind::kCbBase, 8},
+      {"CB_b32", RoutingKind::kCbBase, 32},
   };
 
   std::vector<Series> series;
   for (const Variant& variant : variants) {
-    FbConfig cfg;
-    cfg.topo = topo;
-    cfg.routing = variant.routing;
-    cfg.traffic.kind = TrafficKind::kUniform;
-    cfg.traffic.load = load;
-    cfg.buf_packets = variant.buf;
-    cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
-    FbSimulator sim(cfg);
+    SimParams p = presets::fbfly(k, n, c, variant.buf);
+    p.routing.kind = variant.routing;
+    p.traffic.kind = TrafficKind::kUniform;
+    p.traffic.load = load;
+    p.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+    Simulator sim(p);
     sim.run(warmup);
     const Cycle switch_cycle = sim.now();
-    TrafficParams adjacent = cfg.traffic;  // row adversary = ADV+1 (dim 0)
+    TrafficParams adjacent = p.traffic;  // row adversary = ADV+1 (dim 0)
     adjacent.kind = TrafficKind::kAdversarial;
     adjacent.adv_offset = 1;
     sim.set_traffic(adjacent);  // t = 0
@@ -88,7 +84,7 @@ int main(int argc, char** argv) {
     std::vector<std::int64_t> count(static_cast<std::size_t>(windows), 0);
     std::vector<std::int64_t> mis(static_cast<std::size_t>(windows), 0);
     std::vector<double> lat(static_cast<std::size_t>(windows), 0.0);
-    for (const FbSimulator::Delivery& d : sim.delivery_log()) {
+    for (const Simulator::Delivery& d : sim.delivery_log()) {
       const Cycle t = d.birth - switch_cycle;
       if (t < 0 || t >= windows * window) continue;
       const auto w = static_cast<std::size_t>(t / window);

@@ -1,0 +1,77 @@
+// Torus ablation: the contention-trigger line-up on a k-ary n-cube.
+//
+// Adaptive nonminimal routing on tori is where minimal/nonminimal schemes
+// classically differentiate (cf. OutFlank-style torus adaptive routing and
+// the Valiant literature): under *tornado* traffic — every router sends
+// halfway around its dimension-0 ring — minimal DOR loads only the
+// plus-direction links of that ring and caps at 1/(c * k/2) of injection
+// bandwidth, while nonminimal routing spreads over both directions and both
+// dimensions. This bench runs the unified engine's TorusTopology plugin
+// over MIN / VAL / UGAL-L / PB / Base / Hybrid (ECtN needs the dragonfly's
+// group-broadcast structure and does not apply here) under uniform and
+// tornado traffic.
+//
+// Expected shape: under UN every mechanism tracks MIN at low load (no false
+// triggers for CB); under tornado MIN collapses at the ring cap while
+// UGAL-L and the contention triggers recover nonminimal bandwidth, with VAL
+// paying its doubled hop count everywhere.
+#include <iostream>
+#include <vector>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dfsim;
+  using namespace dfsim::bench;
+  const CliOptions cli(argc, argv);
+  const auto k = static_cast<std::int32_t>(cli.get_int("k", 8));
+  const auto n = static_cast<std::int32_t>(cli.get_int("n", 2));
+  const auto c = static_cast<std::int32_t>(cli.get_int("c", 2));
+  const auto buf = static_cast<std::int32_t>(cli.get_int("buf", 16));
+  const auto warmup = static_cast<Cycle>(cli.get_int("warmup", 2000));
+  const auto measure = static_cast<Cycle>(cli.get_int("measure", 3000));
+  const bool csv = cli.has("csv");
+
+  SimParams base = presets::torus(k, n, c, buf);
+  base.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  if (cli.has("threshold")) {
+    base.routing.contention_threshold =
+        static_cast<std::int32_t>(cli.get_int("threshold", 0));
+  }
+  const std::vector<RoutingKind> mechanisms = parse_lineup(
+      cli, {RoutingKind::kMin, RoutingKind::kValiant, RoutingKind::kUgalL,
+            RoutingKind::kPiggyback, RoutingKind::kCbBase,
+            RoutingKind::kCbHybrid});
+
+  std::cout << "# Torus ablation — " << k << "-ary " << n << "-cube, c=" << c
+            << " (" << base.torus.nodes()
+            << " nodes), unified engine, full routing line-up\n\n";
+
+  // Tornado: ADV at offset k/2 under the torus traffic grouping advances
+  // the dimension-0 ring coordinate halfway around.
+  TrafficParams uniform;
+  uniform.kind = TrafficKind::kUniform;
+  TrafficParams tornado;
+  tornado.kind = TrafficKind::kAdversarial;
+  tornado.adv_offset = k / 2;
+  const double ring_cap =
+      1.0 / (static_cast<double>(c) * static_cast<double>(k / 2));
+  const std::vector<AblationScenario> scenarios{
+      {"UN", uniform, parse_loads(cli, {0.1, 0.2, 0.3, 0.4, 0.5})},
+      {"TORNADO", tornado,
+       parse_loads(cli, {0.5 * ring_cap, ring_cap, 1.2 * ring_cap,
+                         1.6 * ring_cap, 2.0 * ring_cap})},
+  };
+
+  SteadyOptions options;
+  options.warmup = warmup;
+  options.measure = measure;
+  run_scenario_tables(base, mechanisms, scenarios, options, csv, 3);
+
+  std::cout << "Reading: under TORNADO, MIN flatlines at the one-direction\n"
+               "ring cap (" << ring_cap << " phits/node/cycle here) while\n"
+               "UGAL-L and the contention triggers climb past it by taking\n"
+               "nonminimal paths; under UN the adaptive mechanisms ride\n"
+               "MIN's latency with (near-)zero misrouting.\n";
+  return 0;
+}

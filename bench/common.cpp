@@ -181,6 +181,61 @@ void emit(const BenchConfig& cfg, const ResultTable& table,
   std::cout << "\n";
 }
 
+void run_scenario_tables(const SimParams& base,
+                         const std::vector<RoutingKind>& mechanisms,
+                         const std::vector<AblationScenario>& scenarios,
+                         const SteadyOptions& options, bool csv,
+                         int load_precision) {
+  for (const AblationScenario& scenario : scenarios) {
+    // All (mechanism, load) points are independent: one parallel sweep.
+    std::vector<SweepPoint> points;
+    for (const RoutingKind mechanism : mechanisms) {
+      for (const double load : scenario.loads) {
+        SweepPoint pt{base, options};
+        pt.params.routing.kind = mechanism;
+        pt.params.traffic = scenario.traffic;
+        pt.params.traffic.load = load;
+        points.push_back(std::move(pt));
+      }
+    }
+    const std::vector<SteadyResult> results = run_sweep(points);
+
+    for (const char* metric : {"latency", "throughput", "misrouted_pct"}) {
+      std::vector<std::string> columns{"load"};
+      for (const RoutingKind m : mechanisms) columns.push_back(to_string(m));
+      ResultTable table(columns);
+      for (std::size_t li = 0; li < scenario.loads.size(); ++li) {
+        table.begin_row();
+        table.set("load", scenario.loads[li], load_precision);
+        for (std::size_t mi = 0; mi < mechanisms.size(); ++mi) {
+          const SteadyResult& res = results[mi * scenario.loads.size() + li];
+          const std::string col = to_string(mechanisms[mi]);
+          if (metric == std::string("latency")) {
+            // Past saturation the delivered-packet latency is not
+            // meaningful (the paper cuts the curves there).
+            if (res.backlog_per_node > 4.0) {
+              table.set(col, "sat");
+            } else {
+              table.set(col, res.latency_avg, 1);
+            }
+          } else if (metric == std::string("throughput")) {
+            table.set(col, res.throughput, 3);
+          } else {
+            table.set(col, 100.0 * res.misrouted_fraction, 1);
+          }
+        }
+      }
+      std::cout << "== " << scenario.name << " — " << metric << " ==\n";
+      if (csv) {
+        table.write_csv(std::cout);
+      } else {
+        table.write_pretty(std::cout);
+      }
+      std::cout << "\n";
+    }
+  }
+}
+
 void run_load_sweep_figure(const BenchConfig& cfg,
                            const std::vector<RoutingKind>& routings,
                            const std::vector<double>& loads,
@@ -238,7 +293,7 @@ void run_load_sweep_figure(const BenchConfig& cfg,
   }
 
   std::cout << "# " << figure_title << "\n# scale=" << cfg.scale << " ("
-            << cfg.base.topo.nodes()
+            << cfg.base.nodes()
             << " nodes), traffic=" << traffic_label(cfg.base.traffic)
             << ", warmup=" << cfg.warmup << " measure=" << cfg.measure
             << " reps=" << cfg.reps << "\n\n";

@@ -73,6 +73,24 @@ void run_load_sweep_figure(const BenchConfig& cfg,
                            const std::vector<double>& loads,
                            const std::string& figure_title);
 
+/// One named traffic scenario of a topology ablation (ablation_fbfly /
+/// ablation_torus): a pattern plus its load sweep points.
+struct AblationScenario {
+  std::string name;
+  TrafficParams traffic;
+  std::vector<double> loads;
+};
+
+/// Runs every (mechanism x load) point of each scenario as one parallel
+/// sweep and prints latency / throughput / misrouted_pct tables per
+/// scenario (latency cells past saturation print "sat", matching
+/// run_load_sweep_figure).
+void run_scenario_tables(const SimParams& base,
+                         const std::vector<RoutingKind>& mechanisms,
+                         const std::vector<AblationScenario>& scenarios,
+                         const SteadyOptions& options, bool csv,
+                         int load_precision);
+
 /// Prints a table (pretty or CSV per cfg).
 void emit(const BenchConfig& cfg, const ResultTable& table,
           const std::string& title);

@@ -27,12 +27,9 @@ SteadyResult run_steady(const SimParams& params, const SteadyOptions& options) {
     acc.minimal_path_fraction += m.minimal_path_fraction();
     acc.backlog_per_node += sim.backlog_per_node();
     // metrics() was reset at begin_measurement, so `generated` covers the
-    // measure window only.
-    acc.generated_load +=
-        static_cast<double>(m.generated) *
-        static_cast<double>(p.packet_size_phits) /
-        (static_cast<double>(sim.topology().nodes()) *
-         static_cast<double>(options.measure));
+    // measure window only; the accessor guards the zero-length-window case.
+    acc.generated_load += sim.generated_load();
+    acc.latency_overflow += static_cast<double>(m.latency_hist.overflow());
   }
   const auto n = static_cast<double>(reps);
   acc.latency_avg /= n;
@@ -45,6 +42,7 @@ SteadyResult run_steady(const SimParams& params, const SteadyOptions& options) {
   acc.minimal_path_fraction /= n;
   acc.backlog_per_node /= n;
   acc.generated_load /= n;
+  acc.latency_overflow /= n;
   return acc;
 }
 

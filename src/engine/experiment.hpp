@@ -30,6 +30,10 @@ struct SteadyResult {
   double minimal_path_fraction = 0.0; // delivered fully minimal
   double backlog_per_node = 0.0;      // injection-queue packets per node
   double generated_load = 0.0;        // offered load actually generated
+  /// Average count of delivered packets whose latency fell at or beyond the
+  /// histogram's tracked range (LatencyHistogram::overflow) — nonzero means
+  /// the p50/p95/p99 columns are saturated lower bounds, not estimates.
+  double latency_overflow = 0.0;
 };
 
 /// Runs warmup + measurement (averaged over `reps` seeds).

@@ -1,0 +1,35 @@
+// Head-of-queue wait bookkeeping for the engine's blocked-head re-evaluation.
+//
+// A stalled queue head re-considers in-transit misrouting / local detours
+// once it has waited kReEvalWait cycles, and every kReEvalPeriod cycles
+// after that. The counter used to be a bare int16_t incremented every
+// stalled cycle: past 32767 cycles it wrapped negative and
+// `(wait - kReEvalWait) % kReEvalPeriod` went negative, permanently
+// disabling re-evaluation under deep saturation. advance_head_wait wraps the
+// counter back to kReEvalWait after one full period instead — the observable
+// fire cadence (first at kReEvalWait, then every kReEvalPeriod cycles) is
+// bit-identical to an unbounded counter, for any stall length.
+#pragma once
+
+#include <cstdint>
+
+namespace dfsim {
+
+constexpr std::int16_t kReEvalWait = 4;   // head wait before re-deciding
+constexpr std::int16_t kReEvalPeriod = 8; // re-decide cadence after that
+
+/// True when a head that has waited `wait` cycles re-evaluates this cycle.
+[[nodiscard]] constexpr bool head_wait_due(std::int16_t wait) {
+  return wait >= kReEvalWait && (wait - kReEvalWait) % kReEvalPeriod == 0;
+}
+
+/// Advances the wait counter by one stalled cycle, wrapping within
+/// [kReEvalWait, kReEvalWait + kReEvalPeriod) once past the first window so
+/// the counter is bounded (no int16_t overflow) while firing on exactly the
+/// same cycles as an unbounded counter.
+[[nodiscard]] constexpr std::int16_t advance_head_wait(std::int16_t wait) {
+  const auto next = static_cast<std::int16_t>(wait + 1);
+  return next >= kReEvalWait + kReEvalPeriod ? kReEvalWait : next;
+}
+
+}  // namespace dfsim

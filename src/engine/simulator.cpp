@@ -2,33 +2,28 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
+
+#include "engine/head_wait.hpp"
+#include "topo/factory.hpp"
 
 namespace dfsim {
 
-namespace {
-
-constexpr std::int16_t kReEvalWait = 4;  // head wait before re-deciding
-
-TrafficTopologyInfo dragonfly_traffic_info(const TopoParams& topo) {
-  TrafficTopologyInfo info;
-  info.nodes = topo.nodes();
-  info.groups = topo.groups();
-  info.nodes_per_group = topo.a * topo.p;
-  return info;  // default ring adv_group matches ADV+o on the dragonfly
-}
-
-}  // namespace
-
 Simulator::Simulator(const SimParams& params)
+    : Simulator(params, make_topology(params)) {}
+
+Simulator::Simulator(const SimParams& params,
+                     std::unique_ptr<const Topology> topology)
     : params_(params),
-      topo_(params.topo),
-      counters_(params.topo.routers() * params.topo.radix(),
+      topo_owner_(std::move(topology)),
+      topo_(*topo_owner_),
+      counters_(topo_.routers() * topo_.radix(),
                 params.routing.counter_saturation),
       rng_(params.seed),
-      traffic_(params.traffic, dragonfly_traffic_info(params.topo),
+      traffic_(params.traffic, topo_.traffic_info(),
                params.packet_size_phits, params.seed) {
-  radix_ = params_.topo.radix();
-  fwd_ = params_.topo.forward_ports();
+  radix_ = topo_.radix();
+  fwd_ = topo_.forward_ports();
   vmax_ = std::max({params_.router.vcs_local, params_.router.vcs_global,
                     params_.router.vcs_injection});
   psize_ = std::max(1, params_.packet_size_phits);
@@ -42,15 +37,22 @@ Simulator::Simulator(const SimParams& params)
   build_layout();
 
   if (params_.routing.kind == RoutingKind::kCbEctn) {
-    ectn_.resize(topo_.groups(), params_.topo.a * params_.topo.h);
+    if (!topo_.supports_ectn()) {
+      throw std::invalid_argument(
+          "ECtN routing needs a topology with contention-broadcast support "
+          "(dragonfly); pick Base/Hybrid here");
+    }
+    ectn_.resize(topo_.ectn_domains(), topo_.ectn_channels());
   }
   ectn_bits_per_counter_ = bits_for_value(params_.routing.counter_saturation);
-  ectn_scratch_.assign(static_cast<std::size_t>(params_.topo.h), 0);
+  ectn_scratch_.assign(
+      static_cast<std::size_t>(std::max<std::int32_t>(
+          1, topo_.ectn_router_slots())),
+      0);
 }
 
 void Simulator::build_layout() {
   const std::int32_t routers = topo_.routers();
-  const std::int32_t a = params_.topo.a;
   const auto n_q = static_cast<std::size_t>(routers) *
                    static_cast<std::size_t>(radix_) *
                    static_cast<std::size_t>(vmax_);
@@ -76,12 +78,12 @@ void Simulator::build_layout() {
       for (VcIndex vc = 0; vc < vmax_; ++vc) {
         const std::int32_t q = queue_index(r, ip, vc);
         std::int32_t cap = 0;
-        if (ip < a - 1) {
-          if (vc < params_.router.vcs_local) cap = cap_local;
-        } else if (ip < fwd_) {
-          if (vc < params_.router.vcs_global) cap = cap_global;
-        } else {
+        if (ip >= fwd_) {
           if (vc < params_.router.vcs_injection) cap = cap_inj;
+        } else if (topo_.port_class(ip) == PortClass::kLocalClass) {
+          if (vc < params_.router.vcs_local) cap = cap_local;
+        } else {
+          if (vc < params_.router.vcs_global) cap = cap_global;
         }
         q_offset_[static_cast<std::size_t>(q)] = offset;
         q_cap_[static_cast<std::size_t>(q)] = cap;
@@ -104,8 +106,10 @@ void Simulator::build_layout() {
       const RouterId peer = topo_.peer(r, port);
       const PortIndex peer_port = topo_.peer_port(r, port);
       down_queue_base_[idx] = queue_index(peer, peer_port, 0);
-      const std::int32_t lat = port < a - 1 ? params_.link.local_latency
-                                            : params_.link.global_latency;
+      const std::int32_t lat =
+          topo_.port_class(port) == PortClass::kLocalClass
+              ? params_.link.local_latency
+              : params_.link.global_latency;
       link_delay_[idx] = params_.router.pipeline_cycles + lat + psize_;
     }
   }
@@ -114,6 +118,9 @@ void Simulator::build_layout() {
   allocators_.reserve(static_cast<std::size_t>(routers));
   for (RouterId r = 0; r < routers; ++r) {
     allocators_.emplace_back(radix_, radix_, vmax_);
+    if (params_.router.through_priority) {
+      allocators_.back().set_through_priority(fwd_);
+    }
   }
   request_scratch_.resize(static_cast<std::size_t>(radix_));
   for (auto& reqs : request_scratch_) {
@@ -174,15 +181,24 @@ void Simulator::on_new_head(std::int32_t q) {
   const PortIndex ip = (q / vmax_) % radix_;
   const std::int32_t packet =
       slab_[static_cast<std::size_t>(q_offset_[qi] + q_head_[qi])];
+  const auto pi = static_cast<std::size_t>(packet);
+
+  // Valiant phase ending on arrival at the intermediate router (candidates
+  // with via_port < 0; dragonfly phases end on the global hop instead).
+  if ((pool_.flags[pi] & PacketPool::kPhase0) && pool_.via_port[pi] < 0 &&
+      pool_.target_router[pi] == r) {
+    pool_.flags[pi] &= static_cast<std::uint8_t>(~PacketPool::kPhase0);
+    pool_.target_router[pi] = topo_.router_of_node(pool_.dst[pi]);
+    pool_.g_hops[pi] = topo_.phase_end_state(pool_.g_hops[pi]);
+  }
 
   if (ip >= fwd_ &&
-      !(pool_.flags[static_cast<std::size_t>(packet)] & PacketPool::kRouted)) {
+      !(pool_.flags[pi] & PacketPool::kRouted)) {
     decide_injection(r, packet);
   }
   maybe_transit_misroute(r, q, packet);
 
-  const PortIndex counted =
-      topo_.minimal_output(r, pool_.dst[static_cast<std::size_t>(packet)]);
+  const PortIndex counted = topo_.minimal_output(r, pool_.dst[pi]);
   q_counted_[qi] = static_cast<std::int16_t>(counted);
   q_request_[qi] = static_cast<std::int16_t>(route_output(r, packet));
   q_wait_[qi] = 0;
@@ -195,9 +211,9 @@ void Simulator::on_new_head(std::int32_t q) {
 PortIndex Simulator::route_output(RouterId r, std::int32_t packet) const {
   const auto pi = static_cast<std::size_t>(packet);
   if (pool_.flags[pi] & PacketPool::kPhase0) {
-    const RouterId gateway = pool_.target_router[pi];
-    if (r == gateway) return pool_.via_port[pi];
-    return topo_.local_port_to(r, gateway);
+    const RouterId target = pool_.target_router[pi];
+    if (r == target) return pool_.via_port[pi];
+    return topo_.route_toward(r, target);
   }
   return topo_.minimal_output(r, pool_.dst[pi]);
 }
@@ -218,172 +234,130 @@ std::int32_t Simulator::port_capacity_phits(PortIndex out) const {
   // Reference capacity for occupancy-fraction triggers: a single VC buffer.
   // Traffic on a link concentrates in its hop-class VC, so fractions of the
   // all-VC capacity would almost never be reached.
-  if (out < params_.topo.a - 1) {
+  if (out >= fwd_) return psize_;
+  if (topo_.port_class(out) == PortClass::kLocalClass) {
     return std::max(psize_, params_.router.buf_local_phits);
   }
-  if (out < fwd_) {
-    return std::max(psize_, params_.router.buf_global_phits);
-  }
-  return psize_;
+  return std::max(psize_, params_.router.buf_global_phits);
 }
 
-Cycle Simulator::min_latency_estimate(RouterId r, RouterId dr) const {
-  if (r == dr) return 0;
-  const GroupId g = topo_.group_of(r);
-  const GroupId gd = topo_.group_of(dr);
-  if (g == gd) return params_.link.local_latency;
-  Cycle total = 0;
-  const RouterId gateway = topo_.minimal_global_source(g, gd);
-  if (r != gateway) total += params_.link.local_latency;
-  total += params_.link.global_latency;
-  const RouterId entry =
-      topo_.peer(gateway, topo_.minimal_global_port(g, gd));
-  if (entry != dr) total += params_.link.local_latency;
-  return total;
+VcIndex Simulator::vc_for(RouterId r, PortIndex out,
+                          std::int32_t packet) const {
+  const auto pi = static_cast<std::size_t>(packet);
+  const VcIndex cls =
+      topo_.vc_class(r, out, pool_.g_hops[pi],
+                     (pool_.flags[pi] & PacketPool::kPhase0) != 0);
+  return std::min<VcIndex>(cls, class_vcs(out) - 1);
 }
 
-VcIndex Simulator::vc_for_hop(PortIndex out, std::int8_t g_hops) const {
-  if (out < params_.topo.a - 1) {
-    return std::min<std::int32_t>(g_hops, params_.router.vcs_local - 1);
-  }
-  return std::min<std::int32_t>(g_hops, params_.router.vcs_global - 1);
-}
-
-std::int32_t Simulator::pick_misroute_channel(RouterId r, GroupId dest_group,
-                                              bool use_snapshot,
-                                              bool use_occupancy) {
-  const GroupId g = topo_.group_of(r);
-  const std::int32_t a = params_.topo.a;
-  const std::int32_t h = params_.topo.h;
-  const std::int32_t channels = a * h;
-  const std::int32_t jmin = dest_group < g ? dest_group : dest_group - 1;
-
+bool Simulator::pick_misroute_channel(RouterId r, NodeId dst,
+                                      bool use_snapshot, bool use_occupancy,
+                                      NonminCandidate& best) {
   const bool crg = params_.routing.global_policy == GlobalMisroutePolicy::kCrg;
-  const std::int32_t lr = topo_.local_index(r);
-  const std::int32_t pool_size = crg ? h : channels;
-  if (pool_size <= 1 && crg && lr * h == jmin) return -1;
+  const std::int32_t pool_size = topo_.nonmin_pool_size(r, crg);
+  if (!topo_.nonmin_viable(r, dst, crg)) return false;
 
-  std::int32_t best = -1;
+  bool have = false;
   std::int64_t best_score = 0;
   const std::int32_t samples = std::min<std::int32_t>(4, pool_size);
+  NonminCandidate cand;
   for (std::int32_t s = 0; s < samples; ++s) {
-    std::int32_t j = crg ? lr * h + static_cast<std::int32_t>(
-                                        rng_.next_below(
-                                            static_cast<std::uint64_t>(h)))
-                         : static_cast<std::int32_t>(rng_.next_below(
-                               static_cast<std::uint64_t>(channels)));
-    if (j == jmin) continue;
-    const RouterId gateway = g * a + j / h;
-    const PortIndex via = (a - 1) + j % h;
-    const PortIndex first_hop =
-        gateway == r ? via : topo_.local_port_to(r, gateway);
-    std::int64_t score = counters_.value(flat_port(r, first_hop));
-    if (use_snapshot) score += ectn_.value(g, j);
-    if (use_occupancy) score += occupancy_phits(r, first_hop) / psize_;
-    if (best < 0 || score < best_score) {
-      best = j;
+    if (!topo_.sample_nonmin(rng_, r, dst, crg, cand)) continue;
+    std::int64_t score = counters_.value(flat_port(r, cand.first_hop));
+    if (use_snapshot) {
+      score += ectn_.value(topo_.ectn_domain(r), cand.channel);
+    }
+    if (use_occupancy) score += occupancy_phits(r, cand.first_hop) / psize_;
+    if (!have || score < best_score) {
+      have = true;
+      best = cand;
       best_score = score;
     }
   }
-  return best;
+  return have;
 }
 
 bool Simulator::ugal_prefers_misroute(RouterId r, std::int32_t packet,
-                                      std::int32_t channel, bool global_info) {
+                                      const NonminCandidate& cand,
+                                      bool global_info) {
   const auto pi = static_cast<std::size_t>(packet);
   const NodeId d = pool_.dst[pi];
   const RouterId dr = topo_.router_of_node(d);
-  const GroupId g = topo_.group_of(r);
-  const GroupId gd = topo_.group_of(dr);
-  const std::int32_t a = params_.topo.a;
-  const std::int32_t h = params_.topo.h;
 
   const PortIndex min_port = topo_.minimal_output(r, d);
   std::int64_t q_min = occupancy_phits(r, min_port);
-  const Cycle h_min = std::max<Cycle>(1, min_latency_estimate(r, dr));
+  const Cycle h_min =
+      std::max<Cycle>(1, hops_to_latency(topo_.min_hops(r, dr)));
 
-  const RouterId gateway = g * a + channel / h;
-  const PortIndex via = (a - 1) + channel % h;
-  const PortIndex first_hop =
-      gateway == r ? via : topo_.local_port_to(r, gateway);
-  std::int64_t q_val = occupancy_phits(r, first_hop);
-  const RouterId entry = topo_.peer(gateway, via);
-  Cycle h_val = params_.link.global_latency +
-                min_latency_estimate(entry, dr);
-  if (gateway != r) h_val += params_.link.local_latency;
+  std::int64_t q_val = occupancy_phits(r, cand.first_hop);
+  const Cycle h_val = hops_to_latency(topo_.nonmin_hops(r, cand, dr));
 
   if (global_info) {
-    // Add the remote global-channel queues — unless the deciding router is
-    // itself the gateway, in which case the first-hop term above already
-    // covers that channel.
-    const RouterId min_gw = topo_.minimal_global_source(g, gd);
-    if (min_gw != r) {
-      q_min += occupancy_phits(min_gw, topo_.minimal_global_port(g, gd));
+    // Add the remote queues the idealized-global variant may consult —
+    // unless a term is this router's own first hop, already counted above.
+    RemoteProbe probe;
+    if (topo_.min_remote_probe(r, d, probe)) {
+      q_min += occupancy_phits(probe.router, probe.port);
     }
-    if (gateway != r) q_val += occupancy_phits(gateway, via);
+    if (topo_.nonmin_remote_probe(r, cand, probe)) {
+      q_val += occupancy_phits(probe.router, probe.port);
+    }
   }
   const std::int64_t threshold =
       static_cast<std::int64_t>(params_.routing.pb_ugal_threshold) * psize_;
   return q_min * h_min > q_val * h_val + threshold * h_min;
 }
 
-void Simulator::apply_global_misroute(RouterId r, std::int32_t packet,
-                                      std::int32_t channel) {
+void Simulator::apply_global_misroute(std::int32_t packet,
+                                      const NonminCandidate& cand) {
   const auto pi = static_cast<std::size_t>(packet);
-  const GroupId g = topo_.group_of(r);
-  const std::int32_t a = params_.topo.a;
-  const std::int32_t h = params_.topo.h;
   pool_.flags[pi] |= PacketPool::kMisGlobal | PacketPool::kPhase0;
-  pool_.target_router[pi] = g * a + channel / h;
-  pool_.via_port[pi] = static_cast<std::int16_t>((a - 1) + channel % h);
+  pool_.target_router[pi] = cand.inter;
+  pool_.via_port[pi] = static_cast<std::int16_t>(cand.via_port);
 }
 
 void Simulator::decide_injection(RouterId r, std::int32_t packet) {
   const auto pi = static_cast<std::size_t>(packet);
   pool_.flags[pi] |= PacketPool::kRouted;
   const NodeId d = pool_.dst[pi];
-  const RouterId dr = topo_.router_of_node(d);
-  pool_.target_router[pi] = dr;
+  pool_.target_router[pi] = topo_.router_of_node(d);
 
   const RoutingKind kind = params_.routing.kind;
   if (kind == RoutingKind::kMin || (pool_.flags[pi] & PacketPool::kInorder)) {
     return;
   }
-  const GroupId g = topo_.group_of(r);
-  const GroupId gd = topo_.group_of(dr);
-  if (g == gd) return;  // intra-group traffic stays minimal
-
-  const std::int32_t jmin = gd < g ? gd : gd - 1;
+  if (topo_.min_channel(r, d) < 0) return;  // no nonminimal option applies
 
   switch (kind) {
     case RoutingKind::kValiant: {
-      const std::int32_t channels = params_.topo.a * params_.topo.h;
-      std::int32_t j = static_cast<std::int32_t>(
-          rng_.next_below(static_cast<std::uint64_t>(channels - 1)));
-      if (j >= jmin) ++j;
-      apply_global_misroute(r, packet, j);
+      NonminCandidate cand;
+      if (topo_.sample_valiant(rng_, r, d, cand)) {
+        apply_global_misroute(packet, cand);
+      }
       return;
     }
     case RoutingKind::kUgalL:
     case RoutingKind::kUgalG: {
-      const std::int32_t j = pick_misroute_channel(r, gd, false, true);
-      if (j >= 0 &&
-          ugal_prefers_misroute(r, packet, j, kind == RoutingKind::kUgalG)) {
-        apply_global_misroute(r, packet, j);
+      NonminCandidate cand;
+      if (pick_misroute_channel(r, d, false, true, cand) &&
+          ugal_prefers_misroute(r, packet, cand,
+                                kind == RoutingKind::kUgalG)) {
+        apply_global_misroute(packet, cand);
       }
       return;
     }
     case RoutingKind::kPiggyback: {
-      // Remote link-state flag for the minimal global channel (piggybacked
-      // state in the paper; read directly here) OR the local UGAL estimate.
-      const RouterId min_gw = topo_.minimal_global_source(g, gd);
-      const PortIndex min_gp = topo_.minimal_global_port(g, gd);
+      // Remote link-state flag for the minimal route (piggybacked state in
+      // the paper; read directly here) OR the local UGAL estimate.
+      RemoteProbe probe;
       const bool min_congested =
-          credit_fires(min_gw, min_gp, params_.routing.olm_credit_fraction);
-      const std::int32_t j = pick_misroute_channel(r, gd, false, true);
-      if (j >= 0 && (min_congested ||
-                     ugal_prefers_misroute(r, packet, j, false))) {
-        apply_global_misroute(r, packet, j);
+          topo_.min_link_probe(r, d, probe) &&
+          credit_fires(probe.router, probe.port,
+                       params_.routing.olm_credit_fraction);
+      NonminCandidate cand;
+      if (pick_misroute_channel(r, d, false, true, cand) &&
+          (min_congested || ugal_prefers_misroute(r, packet, cand, false))) {
+        apply_global_misroute(packet, cand);
       }
       return;
     }
@@ -391,10 +365,10 @@ void Simulator::decide_injection(RouterId r, std::int32_t packet) {
     case RoutingKind::kCbBase:
     case RoutingKind::kCbHybrid:
     case RoutingKind::kCbEctn:
-      // MM+L in-transit mechanisms: the head-event hook
-      // (maybe_transit_misroute) decides at injection and at every router of
-      // the source group, so backlogged minimal-committed packets can still
-      // divert when the gateway's counters are hot.
+      // In-transit mechanisms: the head-event hook (maybe_transit_misroute)
+      // decides at injection and wherever the topology's in-transit policy
+      // still allows it, so backlogged minimal-committed packets can divert
+      // when the counters are hot.
       return;
     case RoutingKind::kMin:
       return;
@@ -411,12 +385,13 @@ void Simulator::maybe_transit_misroute(RouterId r, std::int32_t q,
   const auto pi = static_cast<std::size_t>(packet);
   const std::uint8_t flags = pool_.flags[pi];
   if (flags & (PacketPool::kMisGlobal | PacketPool::kInorder)) return;
-  if (pool_.g_hops[pi] != 0) return;  // source group only
+  if (!topo_.can_misroute_in_transit(
+          r, topo_.router_of_node(pool_.src[pi]), pool_.g_hops[pi])) {
+    return;
+  }
   const NodeId d = pool_.dst[pi];
-  const RouterId dr = topo_.router_of_node(d);
-  const GroupId g = topo_.group_of(r);
-  const GroupId gd = topo_.group_of(dr);
-  if (gd == g) return;
+  const std::int32_t min_ch = topo_.min_channel(r, d);
+  if (min_ch < 0) return;
 
   const PortIndex mp = topo_.minimal_output(r, d);
   bool fire = false;
@@ -428,11 +403,11 @@ void Simulator::maybe_transit_misroute(RouterId r, std::int32_t q,
       // credits (blocked) or, on the large global buffers, past the
       // occupancy fraction. Credit exhaustion is what ties OLM's response
       // time to the buffer depth (Figure 8).
-      const VcIndex vcn = vc_for_hop(mp, pool_.g_hops[pi]);
+      const VcIndex vcn = vc_for(r, mp, packet);
       const std::int32_t down =
           down_queue_base_[static_cast<std::size_t>(flat_port(r, mp))] + vcn;
       const bool blocked = q_free_[static_cast<std::size_t>(down)] <= 0;
-      const bool deep = mp >= params_.topo.a - 1 &&
+      const bool deep = topo_.port_class(mp) == PortClass::kGlobalClass &&
                         credit_fires(r, mp, params_.routing.olm_credit_fraction);
       fire = blocked || deep;
       use_occupancy = true;
@@ -454,9 +429,8 @@ void Simulator::maybe_transit_misroute(RouterId r, std::int32_t q,
     }
     case RoutingKind::kCbEctn: {
       const std::int32_t own = counters_.value(flat_port(r, mp));
-      const std::int32_t jmin = gd < g ? gd : gd - 1;
       fire = base_trigger_.fires(own, rng_) ||
-             own + ectn_.value(g, jmin) >=
+             own + ectn_.value(topo_.ectn_domain(r), min_ch) >=
                  params_.routing.ectn_combined_threshold;
       use_snapshot = true;
       break;
@@ -466,10 +440,9 @@ void Simulator::maybe_transit_misroute(RouterId r, std::int32_t q,
   }
   if (!fire) return;
 
-  const std::int32_t j =
-      pick_misroute_channel(r, gd, use_snapshot, use_occupancy);
-  if (j < 0) return;
-  apply_global_misroute(r, packet, j);
+  NonminCandidate cand;
+  if (!pick_misroute_channel(r, d, use_snapshot, use_occupancy, cand)) return;
+  apply_global_misroute(packet, cand);
   q_request_[static_cast<std::size_t>(q)] =
       static_cast<std::int16_t>(route_output(r, packet));
 }
@@ -481,9 +454,10 @@ void Simulator::maybe_local_detour(RouterId r, std::int32_t q) {
       kind != RoutingKind::kCbHybrid && kind != RoutingKind::kCbEctn) {
     return;
   }
+  const std::int32_t locals = topo_.local_detour_ports(r);
   const auto qi = static_cast<std::size_t>(q);
   const PortIndex rp = q_request_[qi];
-  if (rp < 0 || rp >= params_.topo.a - 1) return;  // local hops only
+  if (rp < 0 || rp >= locals) return;  // detour-eligible hops only
   const std::int32_t packet =
       slab_[static_cast<std::size_t>(q_offset_[qi] + q_head_[qi])];
   const auto pi = static_cast<std::size_t>(packet);
@@ -498,14 +472,13 @@ void Simulator::maybe_local_detour(RouterId r, std::int32_t q) {
   if (!triggered) return;
 
   // Pick a random alternative local port with a free link and credits.
-  const std::int32_t locals = params_.topo.a - 1;
-  const VcIndex vcn = vc_for_hop(0, pool_.g_hops[pi]);
   for (std::int32_t attempt = 0; attempt < 4; ++attempt) {
     const auto ap = static_cast<PortIndex>(
         rng_.next_below(static_cast<std::uint64_t>(locals)));
     if (ap == rp) continue;
     const std::size_t flat = static_cast<std::size_t>(flat_port(r, ap));
     if (out_busy_until_[flat] > now_) continue;
+    const VcIndex vcn = vc_for(r, ap, packet);
     if (q_free_[static_cast<std::size_t>(down_queue_base_[flat] + vcn)] <= 1) {
       continue;  // require slack so detours do not fill the last slot
     }
@@ -544,7 +517,7 @@ void Simulator::inject_traffic() {
     ++metrics_.generated;
 
     const RouterId r = topo_.router_of_node(inj.src);
-    const PortIndex ip = fwd_ + (inj.src % params_.topo.p);
+    const PortIndex ip = fwd_ + (inj.src % topo_.concentration());
     const std::int32_t q = queue_index(r, ip, 0);
     if (q_free_[static_cast<std::size_t>(q)] <= 0) {
       ++metrics_.refused;
@@ -578,8 +551,7 @@ void Simulator::route_and_allocate() {
         const auto qi = static_cast<std::size_t>(q);
         if (q_size_[qi] == 0) continue;
 
-        if (q_wait_[qi] >= kReEvalWait &&
-            (q_wait_[qi] - kReEvalWait) % 8 == 0) {
+        if (head_wait_due(q_wait_[qi])) {
           // The head has been blocked for a while: re-evaluate in-transit
           // global misrouting and consider an opportunistic local detour.
           const std::int32_t packet = slab_[static_cast<std::size_t>(
@@ -587,7 +559,7 @@ void Simulator::route_and_allocate() {
           maybe_transit_misroute(r, q, packet);
           maybe_local_detour(r, q);
         }
-        ++q_wait_[qi];
+        q_wait_[qi] = advance_head_wait(q_wait_[qi]);
 
         const PortIndex out = q_request_[qi];
         const std::size_t flat = static_cast<std::size_t>(flat_port(r, out));
@@ -595,8 +567,7 @@ void Simulator::route_and_allocate() {
         if (out < fwd_) {
           const std::int32_t packet = slab_[static_cast<std::size_t>(
               q_offset_[qi] + q_head_[qi])];
-          const VcIndex vcn =
-              vc_for_hop(out, pool_.g_hops[static_cast<std::size_t>(packet)]);
+          const VcIndex vcn = vc_for(r, out, packet);
           if (q_free_[static_cast<std::size_t>(down_queue_base_[flat] +
                                                vcn)] <= 0) {
             continue;
@@ -636,20 +607,18 @@ void Simulator::depart(RouterId r, const AllocGrant& grant) {
   }
 
   const auto pi = static_cast<std::size_t>(packet);
-  const VcIndex vcn = vc_for_hop(out, pool_.g_hops[pi]);
+  const VcIndex vcn = vc_for(r, out, packet);  // pre-transition state
   const std::int32_t down = down_queue_base_[flat] + vcn;
   --q_free_[static_cast<std::size_t>(down)];
 
-  if (out >= params_.topo.a - 1) {
-    // Global hop: advance the VC class, close any phase-0 detour, and allow
-    // a fresh local detour in the next group.
-    ++pool_.g_hops[pi];
+  const HopTransition hop = topo_.on_hop(r, out, pool_.g_hops[pi]);
+  pool_.g_hops[pi] = hop.vc_state;
+  if (hop.reset_detour) {
     pool_.flags[pi] &= static_cast<std::uint8_t>(~PacketPool::kDetoured);
-    if (pool_.flags[pi] & PacketPool::kPhase0) {
-      pool_.flags[pi] &= static_cast<std::uint8_t>(~PacketPool::kPhase0);
-      pool_.target_router[pi] =
-          topo_.router_of_node(pool_.dst[pi]);
-    }
+  }
+  if (hop.end_phase0 && (pool_.flags[pi] & PacketPool::kPhase0)) {
+    pool_.flags[pi] &= static_cast<std::uint8_t>(~PacketPool::kPhase0);
+    pool_.target_router[pi] = topo_.router_of_node(pool_.dst[pi]);
   }
 
   assert(ring_count_[flat] < ring_cap_[flat]);
@@ -687,21 +656,20 @@ void Simulator::deliver(RouterId r, std::int32_t packet) {
 }
 
 void Simulator::update_ectn() {
+  if (!topo_.supports_ectn()) return;
   const Cycle period = params_.routing.ectn_update_period;
   if (period <= 0 || now_ % period != 0) return;
   const bool want_snapshot = params_.routing.kind == RoutingKind::kCbEctn;
   if (!want_snapshot && !ectn_monitor_enabled_) return;
 
-  const std::int32_t a = params_.topo.a;
-  const std::int32_t h = params_.topo.h;
+  const std::int32_t slots = topo_.ectn_router_slots();
   for (RouterId r = 0; r < topo_.routers(); ++r) {
-    const GroupId g = topo_.group_of(r);
-    const std::int32_t lr = topo_.local_index(r);
-    for (PortIndex gp = 0; gp < h; ++gp) {
+    for (std::int32_t i = 0; i < slots; ++i) {
+      const EctnSlot slot = topo_.ectn_slot(r, i);
       const auto value = static_cast<std::int16_t>(
-          counters_.value(flat_port(r, (a - 1) + gp)));
-      if (want_snapshot) ectn_.set(g, lr * h + gp, value);
-      ectn_scratch_[static_cast<std::size_t>(gp)] = value;
+          counters_.value(flat_port(r, slot.port)));
+      if (want_snapshot) ectn_.set(slot.domain, slot.channel, value);
+      ectn_scratch_[static_cast<std::size_t>(i)] = value;
     }
     if (ectn_monitor_enabled_) {
       ectn_monitor_.on_update(r, ectn_scratch_.data());
@@ -736,10 +704,18 @@ double Simulator::throughput() const {
          (static_cast<double>(topo_.nodes()) * static_cast<double>(cycles));
 }
 
+double Simulator::generated_load() const {
+  const Cycle cycles = measured_cycles();
+  if (cycles <= 0) return 0.0;
+  return static_cast<double>(metrics_.generated) *
+         static_cast<double>(psize_) /
+         (static_cast<double>(topo_.nodes()) * static_cast<double>(cycles));
+}
+
 double Simulator::backlog_per_node() const {
   std::int64_t waiting = 0;
   for (RouterId r = 0; r < topo_.routers(); ++r) {
-    for (std::int32_t i = 0; i < params_.topo.p; ++i) {
+    for (std::int32_t i = 0; i < topo_.concentration(); ++i) {
       waiting += q_size_[static_cast<std::size_t>(
           queue_index(r, fwd_ + i, 0))];
     }
@@ -763,9 +739,14 @@ void Simulator::enable_delivery_log() {
 
 void Simulator::enable_ectn_monitor(std::int32_t async_mult,
                                     std::int32_t urgent_delta) {
-  const std::int32_t channels = params_.topo.a * params_.topo.h;
+  if (!topo_.supports_ectn()) {
+    throw std::invalid_argument(
+        "ECtN overhead monitor needs a topology with contention-broadcast "
+        "support");
+  }
+  const std::int32_t channels = topo_.ectn_channels();
   const std::int32_t id_bits = bits_for_value(channels - 1);
-  ectn_monitor_.configure(topo_.routers(), params_.topo.h,
+  ectn_monitor_.configure(topo_.routers(), topo_.ectn_router_slots(),
                           ectn_bits_per_counter_, id_bits, async_mult,
                           urgent_delta);
   ectn_monitor_enabled_ = true;

@@ -1,4 +1,9 @@
-// Cycle-driven dragonfly simulator with flat (structure-of-arrays) state.
+// Topology-generic cycle-driven simulator with flat (structure-of-arrays)
+// state. The topology (dragonfly, flattened butterfly, torus — see
+// topo/topology.hpp) is a plugin: the engine owns queues, credits, links,
+// allocation, contention counters, metrics, delivery logging, and trace
+// hooks; the Topology instance owns wiring, minimal routing, the VC
+// deadlock schedule, and the nonminimal-candidate machinery.
 //
 // Model summary
 //  - Packet granularity, virtual cut-through-ish: a packet occupies its link
@@ -14,8 +19,9 @@
 //    *minimal* route uses that port — deliberately independent of the actual
 //    routing decision (the property behind the paper's Figure 9).
 //  - Global misrouting is decided at injection (CB/UGAL/PB/VAL) or in
-//    transit at the gateway (OLM); opportunistic local misrouting diverts a
-//    blocked head one extra local hop.
+//    transit (OLM/CB, where the topology's in-transit policy allows);
+//    opportunistic local misrouting diverts a blocked head one extra local
+//    hop on topologies that expose detour ports.
 //
 // After warmup the steady-state step performs zero heap allocations: packets
 // come from a pooled free list, queues and scratch are preallocated, and the
@@ -24,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/contention_counters.hpp"
@@ -32,7 +39,7 @@
 #include "engine/packet_pool.hpp"
 #include "router/allocator.hpp"
 #include "sim/config.hpp"
-#include "topo/dragonfly.hpp"
+#include "topo/topology.hpp"
 #include "traffic/model.hpp"
 #include "util/histogram.hpp"
 #include "util/rng.hpp"
@@ -75,22 +82,30 @@ class Simulator {
     }
   };
 
+  /// Builds the topology `params.topology` selects via topo/factory.hpp.
   explicit Simulator(const SimParams& params);
+  /// Runs on a caller-provided topology (tests, custom instances).
+  Simulator(const SimParams& params, std::unique_ptr<const Topology> topology);
 
   void step();
   void run(Cycle cycles);
 
   [[nodiscard]] Cycle now() const { return now_; }
   [[nodiscard]] const SimParams& params() const { return params_; }
-  [[nodiscard]] const DragonflyTopology& topology() const { return topo_; }
+  [[nodiscard]] const Topology& topology() const { return topo_; }
 
   /// Resets measurement counters; metrics() accumulates from this point.
   void begin_measurement();
   [[nodiscard]] const Metrics& metrics() const { return metrics_; }
   [[nodiscard]] Cycle measured_cycles() const { return now_ - measure_start_; }
 
-  /// Accepted load in phits/node/cycle over the measurement window.
+  /// Accepted load in phits/node/cycle over the measurement window; 0 while
+  /// the window is empty (guards the division right after
+  /// begin_measurement()).
   [[nodiscard]] double throughput() const;
+  /// Offered load actually generated (phits/node/cycle) over the window;
+  /// 0 while the window is empty.
+  [[nodiscard]] double generated_load() const;
   /// Packets waiting in injection queues, per node.
   [[nodiscard]] double backlog_per_node() const;
 
@@ -119,6 +134,7 @@ class Simulator {
   }
 
   /// Live ECtN broadcast-overhead measurement (Section VI-B ablation).
+  /// Requires a topology with supports_ectn().
   void enable_ectn_monitor(std::int32_t async_mult, std::int32_t urgent_delta);
   [[nodiscard]] const EctnOverheadMonitor& ectn_monitor() const {
     return ectn_monitor_;
@@ -162,13 +178,16 @@ class Simulator {
   [[nodiscard]] PortIndex route_output(RouterId r, std::int32_t packet) const;
   void maybe_local_detour(RouterId r, std::int32_t q);
   void maybe_transit_misroute(RouterId r, std::int32_t q, std::int32_t packet);
-  void apply_global_misroute(RouterId r, std::int32_t packet,
-                             std::int32_t channel);
-  [[nodiscard]] std::int32_t pick_misroute_channel(RouterId r, GroupId dest_group,
-                                                   bool use_snapshot,
-                                                   bool use_occupancy);
+  void apply_global_misroute(std::int32_t packet, const NonminCandidate& cand);
+  /// Scored candidate sampling (counters, optional ECtN snapshot, optional
+  /// local occupancy); false when no candidate was drawn.
+  [[nodiscard]] bool pick_misroute_channel(RouterId r, NodeId dst,
+                                           bool use_snapshot,
+                                           bool use_occupancy,
+                                           NonminCandidate& best);
   [[nodiscard]] bool ugal_prefers_misroute(RouterId r, std::int32_t packet,
-                                           std::int32_t channel, bool global_info);
+                                           const NonminCandidate& cand,
+                                           bool global_info);
 
   // --- state probes
   [[nodiscard]] std::int32_t occupancy_phits(RouterId r, PortIndex out) const;
@@ -179,8 +198,22 @@ class Simulator {
     return CreditOccupancyTrigger{fraction}.fires(occupancy_phits(r, out),
                                                   port_capacity_phits(out));
   }
-  [[nodiscard]] Cycle min_latency_estimate(RouterId r, RouterId dr) const;
-  [[nodiscard]] VcIndex vc_for_hop(PortIndex out, std::int8_t g_hops) const;
+  /// Configured VC count of `out`'s port class.
+  [[nodiscard]] std::int32_t class_vcs(PortIndex out) const {
+    if (out >= fwd_) return params_.router.vcs_injection;
+    return topo_.port_class(out) == PortClass::kLocalClass
+               ? params_.router.vcs_local
+               : params_.router.vcs_global;
+  }
+  /// Downstream VC for `packet` taking `out` at `r`: the topology's VC
+  /// class clamped to the port class's configured VC count.
+  [[nodiscard]] VcIndex vc_for(RouterId r, PortIndex out,
+                               std::int32_t packet) const;
+  /// HopEstimate in cycles under this run's link latencies.
+  [[nodiscard]] Cycle hops_to_latency(const HopEstimate& est) const {
+    return static_cast<Cycle>(est.local_hops) * params_.link.local_latency +
+           static_cast<Cycle>(est.global_hops) * params_.link.global_latency;
+  }
   [[nodiscard]] std::int32_t flat_port(RouterId r, PortIndex port) const {
     return r * radix_ + port;
   }
@@ -188,9 +221,11 @@ class Simulator {
   void depart(RouterId r, const AllocGrant& grant);
   void deliver(RouterId r, std::int32_t packet);
 
-  // --- immutable shape
+  // --- immutable shape (topo_owner_ must precede every member that reads
+  // the topology during construction)
   SimParams params_;
-  DragonflyTopology topo_;
+  std::unique_ptr<const Topology> topo_owner_;
+  const Topology& topo_;
   std::int32_t radix_ = 0;      // input/output ports per router
   std::int32_t fwd_ = 0;        // forward (link) ports per router
   std::int32_t vmax_ = 0;       // max VCs across port classes
@@ -204,7 +239,7 @@ class Simulator {
   std::vector<std::int32_t> q_free_;     // credits: cap - size - in-flight
   std::vector<std::int16_t> q_counted_;  // port counted in contention counters
   std::vector<std::int16_t> q_request_;  // port requested from the allocator
-  std::vector<std::int16_t> q_wait_;     // cycles the head has waited
+  std::vector<std::int16_t> q_wait_;     // bounded head-wait (head_wait.hpp)
   std::vector<std::int32_t> slab_;       // ring storage for all queues
 
   // --- per-output flat state (size routers * radix)

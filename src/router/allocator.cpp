@@ -59,25 +59,38 @@ std::span<const AllocGrant> SeparableAllocator::iterate(
 
   // Stage 2: each free output port picks one input winner, round-robin from
   // its pointer. Outputs nobody picked in stage 1 are skipped outright.
+  // With through-priority enabled, a first round-robin pass considers only
+  // through inputs; injection inputs win in a second pass when no through
+  // input wanted the output.
   if (winners == 0) return {iter_grants_.data(), iter_grants_.size()};
+  const std::int32_t passes = first_injection_port_ >= 0 ? 2 : 1;
   for (std::int32_t out = 0; out < out_ports_; ++out) {
     if (out_busy_[static_cast<std::size_t>(out)]) continue;
     if (!out_has_candidate_[static_cast<std::size_t>(out)]) continue;
     const std::int32_t start = out_rr_[static_cast<std::size_t>(out)];
-    for (std::int32_t k = 0; k < in_ports_; ++k) {
-      const std::int32_t in = (start + k) % in_ports_;
-      if (!in_has_winner_[static_cast<std::size_t>(in)]) continue;
-      const AllocRequest& req = in_winner_[static_cast<std::size_t>(in)];
-      if (req.out != out) continue;
-      iter_grants_.push_back(AllocGrant{in, req.vc, out});
-      in_busy_[static_cast<std::size_t>(in)] = 1;
-      out_busy_[static_cast<std::size_t>(out)] = 1;
-      in_has_winner_[static_cast<std::size_t>(in)] = 0;
-      // Advance round-robin pointers past the winners.
-      out_rr_[static_cast<std::size_t>(out)] = (in + 1) % in_ports_;
-      in_rr_[static_cast<std::size_t>(in)] =
-          in_rr_[static_cast<std::size_t>(in)] + 1;
-      break;
+    for (std::int32_t pass = 0; pass < passes; ++pass) {
+      bool granted = false;
+      for (std::int32_t k = 0; k < in_ports_; ++k) {
+        const std::int32_t in = (start + k) % in_ports_;
+        if (passes == 2) {
+          const bool is_injection = in >= first_injection_port_;
+          if (is_injection != (pass == 1)) continue;
+        }
+        if (!in_has_winner_[static_cast<std::size_t>(in)]) continue;
+        const AllocRequest& req = in_winner_[static_cast<std::size_t>(in)];
+        if (req.out != out) continue;
+        iter_grants_.push_back(AllocGrant{in, req.vc, out});
+        in_busy_[static_cast<std::size_t>(in)] = 1;
+        out_busy_[static_cast<std::size_t>(out)] = 1;
+        in_has_winner_[static_cast<std::size_t>(in)] = 0;
+        // Advance round-robin pointers past the winners.
+        out_rr_[static_cast<std::size_t>(out)] = (in + 1) % in_ports_;
+        in_rr_[static_cast<std::size_t>(in)] =
+            in_rr_[static_cast<std::size_t>(in)] + 1;
+        granted = true;
+        break;
+      }
+      if (granted) break;
     }
   }
 

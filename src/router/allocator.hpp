@@ -34,6 +34,19 @@ class SeparableAllocator {
   SeparableAllocator(std::int32_t in_ports, std::int32_t out_ports,
                      std::int32_t vcs);
 
+  /// Output arbitration priority for in-network (through) traffic: inputs
+  /// at or past `first_injection_port` only win an output no through input
+  /// wants that iteration. Low-radix rings/tori need this — with plain
+  /// round-robin an injection port takes an equal share of a saturated
+  /// through link, which collapses aggregate throughput on >= 3-hop chains
+  /// (the classic torus injection-vs-bypass fairness problem; cf. age-based
+  /// or bypass-priority arbitration in real torus routers). Off by default:
+  /// high-radix dragonfly outputs see many through inputs and figure
+  /// parity with the paper's RR allocator matters more there.
+  void set_through_priority(std::int32_t first_injection_port) {
+    first_injection_port_ = first_injection_port;
+  }
+
   /// Runs one separable iteration over `requests` (indexed by input port;
   /// each inner vector lists that port's requesting VCs). The returned span
   /// aliases an internal buffer valid until the next call.
@@ -59,6 +72,7 @@ class SeparableAllocator {
   std::int32_t in_ports_;
   std::int32_t out_ports_;
   std::int32_t vcs_;
+  std::int32_t first_injection_port_ = -1;  // -1: plain round-robin
 
   std::vector<std::int32_t> in_rr_;   // per input: round-robin VC pointer
   std::vector<std::int32_t> out_rr_;  // per output: round-robin input pointer

@@ -1,5 +1,6 @@
 #include "sim/config.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace dfsim {
@@ -17,6 +18,25 @@ std::string to_string(RoutingKind kind) {
     case RoutingKind::kCbEctn: return "ECtN";
   }
   return "?";
+}
+
+std::string to_string(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kDragonfly: return "dragonfly";
+    case TopologyKind::kFbfly: return "fbfly";
+    case TopologyKind::kTorus: return "torus";
+  }
+  return "?";
+}
+
+TopologyKind topology_kind_from_string(const std::string& name) {
+  if (name == "dragonfly" || name == "df") return TopologyKind::kDragonfly;
+  if (name == "fbfly" || name == "flattened-butterfly" || name == "fb") {
+    return TopologyKind::kFbfly;
+  }
+  if (name == "torus" || name == "ring") return TopologyKind::kTorus;
+  throw std::invalid_argument("unknown topology: " + name +
+                              " (expected dragonfly|fbfly|torus)");
 }
 
 RoutingKind routing_kind_from_string(const std::string& name) {
@@ -65,6 +85,59 @@ SimParams tiny() {
   // Short links keep base latency low at smoke scale.
   p.link.local_latency = 5;
   p.link.global_latency = 20;
+  return p;
+}
+
+namespace {
+
+// Shared non-dragonfly baseline: unit packets so `load` is packets/node/
+// cycle, uniform short links, one buffer class.
+SimParams flat_base(std::int32_t buf_packets) {
+  SimParams p;
+  p.packet_size_phits = 1;
+  p.router.pipeline_cycles = 1;
+  p.router.vcs_injection = 1;
+  p.router.buf_local_phits = buf_packets;
+  p.router.buf_global_phits = buf_packets;
+  p.router.injection_queue_packets = 512;
+  p.link.local_latency = 3;
+  p.link.global_latency = 3;
+  p.router.through_priority = true;
+  return p;
+}
+
+}  // namespace
+
+SimParams fbfly(std::int32_t k, std::int32_t n, std::int32_t c,
+                std::int32_t buf_packets) {
+  SimParams p = flat_base(buf_packets);
+  p.topology = TopologyKind::kFbfly;
+  p.fbfly = FbflyParams{k, n, c};
+  p.router.vcs_local = 2;   // one VC class per Valiant phase
+  p.router.vcs_global = 2;
+  // Auto threshold: all c injection heads aligned on one channel. The
+  // unified engine's counters observe every queue head (not just the
+  // injection heads the old forked simulator sampled), so c aligned heads
+  // fire reliably under adversarial patterns while random uniform alignment
+  // stays very unlikely.
+  p.routing.contention_threshold = std::max(2, c);
+  p.routing.hybrid_contention_threshold =
+      std::max(1, p.routing.contention_threshold / 2);
+  p.routing.allow_local_misroute = false;  // no local-detour analogue
+  return p;
+}
+
+SimParams torus(std::int32_t k, std::int32_t n, std::int32_t c,
+                std::int32_t buf_packets) {
+  SimParams p = flat_base(buf_packets);
+  p.topology = TopologyKind::kTorus;
+  p.torus = TorusParams{k, n, c};
+  p.router.vcs_local = 4;   // dateline x Valiant-phase classes
+  p.router.vcs_global = 4;
+  p.routing.contention_threshold = std::max(2, c);
+  p.routing.hybrid_contention_threshold =
+      std::max(1, p.routing.contention_threshold / 2);
+  p.routing.allow_local_misroute = false;
   return p;
 }
 

@@ -41,6 +41,13 @@ enum class RoutingKind : std::uint8_t {
 /// current router's own global links.
 enum class GlobalMisroutePolicy : std::uint8_t { kMmL, kCrg };
 
+/// Topology the unified engine instantiates (see topo/topology.hpp). The
+/// matching shape struct below is consulted; the others are ignored.
+enum class TopologyKind : std::uint8_t { kDragonfly, kFbfly, kTorus };
+
+[[nodiscard]] std::string to_string(TopologyKind kind);
+[[nodiscard]] TopologyKind topology_kind_from_string(const std::string& name);
+
 // ---------------------------------------------------------------------------
 // Parameter structs
 
@@ -62,6 +69,38 @@ struct TopoParams {
   [[nodiscard]] std::int32_t radix() const { return p + forward_ports(); }
 };
 
+/// k-ary n-flat flattened butterfly: full connectivity per dimension,
+/// c terminals per router (Section VI-D companion topology).
+struct FbflyParams {
+  std::int32_t k = 4;  // radix per dimension
+  std::int32_t n = 2;  // dimensions
+  std::int32_t c = 4;  // nodes per router
+
+  [[nodiscard]] std::int32_t routers() const {
+    std::int32_t total = 1;
+    for (std::int32_t d = 0; d < n; ++d) total *= k;
+    return total;
+  }
+  [[nodiscard]] std::int32_t nodes() const { return routers() * c; }
+  /// Inter-router channels per router: (k-1) per dimension.
+  [[nodiscard]] std::int32_t channels() const { return n * (k - 1); }
+};
+
+/// k-ary n-cube torus: wrap-around rings per dimension, c terminals per
+/// router. Needs vcs_local >= 4 (dateline x Valiant-phase VCs).
+struct TorusParams {
+  std::int32_t k = 8;  // ring size per dimension
+  std::int32_t n = 2;  // dimensions
+  std::int32_t c = 2;  // nodes per router
+
+  [[nodiscard]] std::int32_t routers() const {
+    std::int32_t total = 1;
+    for (std::int32_t d = 0; d < n; ++d) total *= k;
+    return total;
+  }
+  [[nodiscard]] std::int32_t nodes() const { return routers() * c; }
+};
+
 struct RouterParams {
   std::int32_t pipeline_cycles = 5;  // router traversal latency
   std::int32_t speedup = 2;          // internal frequency speedup (allocator iterations)
@@ -73,6 +112,10 @@ struct RouterParams {
   std::int32_t buf_global_phits = 256;  // per VC
   /// Injection (source) queue depth in packets; bounds memory past saturation.
   std::int32_t injection_queue_packets = 64;
+  /// Output arbitration favors in-network traffic over injection (see
+  /// SeparableAllocator::set_through_priority). Required for sane saturated
+  /// throughput on low-radix rings/tori; off for dragonfly figure parity.
+  bool through_priority = false;
 };
 
 struct LinkParams {
@@ -103,13 +146,27 @@ struct RoutingParams {
 };
 
 struct SimParams {
+  /// Which topology the engine instantiates; `topo` (dragonfly), `fbfly`,
+  /// or `torus` supplies the shape accordingly.
+  TopologyKind topology = TopologyKind::kDragonfly;
   TopoParams topo;
+  FbflyParams fbfly;
+  TorusParams torus;
   RouterParams router;
   LinkParams link;
   RoutingParams routing;
   TrafficParams traffic;
   std::int32_t packet_size_phits = 8;
   std::uint64_t seed = 1;
+
+  [[nodiscard]] std::int32_t nodes() const {
+    switch (topology) {
+      case TopologyKind::kFbfly: return fbfly.nodes();
+      case TopologyKind::kTorus: return torus.nodes();
+      case TopologyKind::kDragonfly: break;
+    }
+    return topo.nodes();
+  }
 };
 
 // ---------------------------------------------------------------------------
@@ -129,6 +186,18 @@ namespace presets {
 
 /// Lookup by --scale name; throws std::invalid_argument on unknown names.
 [[nodiscard]] SimParams by_name(const std::string& name);
+
+/// Flattened-butterfly run on the unified engine: unit packets (load is
+/// packets/node/cycle), 2 phase VCs, per-channel buffering of `buf_packets`,
+/// and an auto contention threshold of max(2, c) — all injection heads
+/// aligned (the unified engine's counters see every queue head, unlike the
+/// old forked simulator's injection-only sampling).
+[[nodiscard]] SimParams fbfly(std::int32_t k, std::int32_t n, std::int32_t c,
+                              std::int32_t buf_packets = 16);
+/// Torus run on the unified engine: 4 VCs (dateline x Valiant phase),
+/// unit packets, uniform per-channel buffering.
+[[nodiscard]] SimParams torus(std::int32_t k, std::int32_t n, std::int32_t c,
+                              std::int32_t buf_packets = 16);
 
 }  // namespace presets
 

@@ -48,9 +48,16 @@ bool to_bool(const std::string& key, const std::string& value) {
 void apply_param(SimParams& p, const std::string& key,
                  const std::string& value) {
   // Topology
+  if (key == "topology") { p.topology = topology_kind_from_string(value); return; }
   if (key == "topo.p") { p.topo.p = to_i32(key, value); return; }
   if (key == "topo.a") { p.topo.a = to_i32(key, value); return; }
   if (key == "topo.h") { p.topo.h = to_i32(key, value); return; }
+  if (key == "fbfly.k") { p.fbfly.k = to_i32(key, value); return; }
+  if (key == "fbfly.n") { p.fbfly.n = to_i32(key, value); return; }
+  if (key == "fbfly.c") { p.fbfly.c = to_i32(key, value); return; }
+  if (key == "torus.k") { p.torus.k = to_i32(key, value); return; }
+  if (key == "torus.n") { p.torus.n = to_i32(key, value); return; }
+  if (key == "torus.c") { p.torus.c = to_i32(key, value); return; }
   // Router
   if (key == "router.pipeline_cycles") { p.router.pipeline_cycles = to_i32(key, value); return; }
   if (key == "router.speedup") { p.router.speedup = to_i32(key, value); return; }
@@ -61,6 +68,7 @@ void apply_param(SimParams& p, const std::string& key,
   if (key == "router.buf_local_phits") { p.router.buf_local_phits = to_i32(key, value); return; }
   if (key == "router.buf_global_phits") { p.router.buf_global_phits = to_i32(key, value); return; }
   if (key == "router.injection_queue_packets") { p.router.injection_queue_packets = to_i32(key, value); return; }
+  if (key == "router.through_priority") { p.router.through_priority = to_bool(key, value); return; }
   // Links
   if (key == "link.local_latency") { p.link.local_latency = to_i32(key, value); return; }
   if (key == "link.global_latency") { p.link.global_latency = to_i32(key, value); return; }

@@ -13,73 +13,162 @@
 // (router, destination router) pairs is built once in the constructor; at
 // paper scale it is a ~8.5 MB int16 table, which is why route computation
 // never shows up in the simulator profile.
+//
+// As a Topology plugin this class also owns the dragonfly-shaped half of the
+// paper's routing mechanisms: the nonminimal candidate space is the a*h
+// group-level global channels (MM+L) or the router's own h channels (CRG),
+// Valiant draws uniformly over the non-minimal channels, phase 0 ends on the
+// global hop, the VC schedule is the hop-class one (l0/l1/l2, g0/g1), and
+// ECtN broadcasts each router's h global-port counters inside its group.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "sim/config.hpp"
+#include "topo/topology.hpp"
 #include "util/types.hpp"
 
 namespace dfsim {
 
-class DragonflyTopology {
+class DragonflyTopology final : public Topology {
  public:
   explicit DragonflyTopology(const TopoParams& params);
 
   [[nodiscard]] const TopoParams& params() const { return params_; }
   [[nodiscard]] std::int32_t groups() const { return groups_; }
-  [[nodiscard]] std::int32_t routers() const { return routers_; }
-  [[nodiscard]] std::int32_t nodes() const { return nodes_; }
-  [[nodiscard]] std::int32_t forward_ports() const { return forward_ports_; }
 
   [[nodiscard]] GroupId group_of(RouterId r) const { return r / params_.a; }
   [[nodiscard]] std::int32_t local_index(RouterId r) const {
     return r % params_.a;
-  }
-  [[nodiscard]] RouterId router_of_node(NodeId n) const {
-    return n / params_.p;
   }
 
   [[nodiscard]] bool is_local_port(PortIndex port) const {
     return port < params_.a - 1;
   }
   [[nodiscard]] bool is_global_port(PortIndex port) const {
-    return port >= params_.a - 1 && port < forward_ports_;
+    return port >= params_.a - 1 && port < forward_ports();
   }
   [[nodiscard]] bool is_ejection_port(PortIndex port) const {
-    return port >= forward_ports_;
+    return port >= forward_ports();
+  }
+
+  // --- Topology interface -------------------------------------------------
+
+  [[nodiscard]] PortClass port_class(PortIndex port) const override {
+    return port < params_.a - 1 ? PortClass::kLocalClass
+                                : PortClass::kGlobalClass;
   }
 
   /// Neighbor router on the other end of `port` (local or global).
-  [[nodiscard]] RouterId peer(RouterId r, PortIndex port) const {
+  [[nodiscard]] RouterId peer(RouterId r, PortIndex port) const override {
     return peer_[static_cast<std::size_t>(r) *
-                     static_cast<std::size_t>(forward_ports_) +
+                     static_cast<std::size_t>(forward_ports()) +
                  static_cast<std::size_t>(port)];
   }
   /// Input port on the peer router that this link feeds.
-  [[nodiscard]] PortIndex peer_port(RouterId r, PortIndex port) const {
+  [[nodiscard]] PortIndex peer_port(RouterId r, PortIndex port) const override {
     return peer_port_[static_cast<std::size_t>(r) *
-                          static_cast<std::size_t>(forward_ports_) +
+                          static_cast<std::size_t>(forward_ports()) +
                       static_cast<std::size_t>(port)];
   }
 
   /// Next output port on the (unique) minimal route from router `r` to node
   /// `dest`: an ejection port when `dest` is attached to `r`.
-  [[nodiscard]] PortIndex minimal_output(RouterId r, NodeId dest) const {
+  [[nodiscard]] PortIndex minimal_output(RouterId r,
+                                         NodeId dest) const override {
     const RouterId dr = router_of_node(dest);
     const PortIndex port = min_port_[static_cast<std::size_t>(r) *
-                                         static_cast<std::size_t>(routers_) +
+                                         static_cast<std::size_t>(routers()) +
                                      static_cast<std::size_t>(dr)];
     if (port != kEject) return port;
-    return forward_ports_ + (dest % params_.p);
+    return forward_ports() + (dest % params_.p);
   }
+
+  [[nodiscard]] PortIndex route_toward(RouterId r,
+                                       RouterId target) const override {
+    return minimal_router_output(r, target);
+  }
+
+  [[nodiscard]] VcIndex vc_class(RouterId r, PortIndex out,
+                                 std::int8_t vc_state,
+                                 bool phase0) const override {
+    (void)r;
+    (void)out;
+    (void)phase0;
+    return vc_state;  // VC class == global hops taken; engine clamps
+  }
+
+  [[nodiscard]] HopTransition on_hop(RouterId r, PortIndex out,
+                                     std::int8_t vc_state) const override {
+    (void)r;
+    if (out >= params_.a - 1) {
+      // Global hop: advance the VC class, close any phase-0 detour, and
+      // allow a fresh local detour in the next group.
+      return {static_cast<std::int8_t>(vc_state + 1), true, true};
+    }
+    return {vc_state, false, false};
+  }
+
+  [[nodiscard]] std::int32_t min_channel(RouterId r, NodeId dst) const override;
+  [[nodiscard]] std::int32_t nonmin_pool_size(
+      RouterId r, bool own_router_only) const override;
+  [[nodiscard]] bool nonmin_viable(RouterId r, NodeId dst,
+                                   bool own_router_only) const override;
+  [[nodiscard]] bool sample_nonmin(Rng& rng, RouterId r, NodeId dst,
+                                   bool own_router_only,
+                                   NonminCandidate& out) const override;
+  [[nodiscard]] bool sample_valiant(Rng& rng, RouterId r, NodeId dst,
+                                    NonminCandidate& out) const override;
+
+  [[nodiscard]] HopEstimate min_hops(RouterId r, RouterId dr) const override;
+  [[nodiscard]] HopEstimate nonmin_hops(RouterId r,
+                                        const NonminCandidate& cand,
+                                        RouterId dr) const override;
+  [[nodiscard]] bool min_remote_probe(RouterId r, NodeId dst,
+                                      RemoteProbe& out) const override;
+  [[nodiscard]] bool nonmin_remote_probe(RouterId r,
+                                         const NonminCandidate& cand,
+                                         RemoteProbe& out) const override;
+  [[nodiscard]] bool min_link_probe(RouterId r, NodeId dst,
+                                    RemoteProbe& out) const override;
+
+  [[nodiscard]] bool can_misroute_in_transit(
+      RouterId r, RouterId src_router, std::int8_t vc_state) const override {
+    (void)r;
+    (void)src_router;
+    return vc_state == 0;  // source group only (no global hop taken yet)
+  }
+  [[nodiscard]] std::int32_t local_detour_ports(RouterId r) const override {
+    (void)r;
+    return params_.a - 1;
+  }
+
+  [[nodiscard]] bool supports_ectn() const override { return true; }
+  [[nodiscard]] std::int32_t ectn_domains() const override { return groups_; }
+  [[nodiscard]] std::int32_t ectn_channels() const override {
+    return params_.a * params_.h;
+  }
+  [[nodiscard]] std::int32_t ectn_router_slots() const override {
+    return params_.h;
+  }
+  [[nodiscard]] std::int32_t ectn_domain(RouterId r) const override {
+    return group_of(r);
+  }
+  [[nodiscard]] EctnSlot ectn_slot(RouterId r, std::int32_t i) const override {
+    return EctnSlot{(params_.a - 1) + i, group_of(r),
+                    local_index(r) * params_.h + i};
+  }
+
+  [[nodiscard]] TrafficTopologyInfo traffic_info() const override;
+
+  // --- dragonfly-specific helpers (tests, micro benches, ECtN math) -------
 
   /// Next output port on the minimal route toward router `dr` (kInvalidPort
   /// when `r == dr`).
   [[nodiscard]] PortIndex minimal_router_output(RouterId r, RouterId dr) const {
     const PortIndex port = min_port_[static_cast<std::size_t>(r) *
-                                         static_cast<std::size_t>(routers_) +
+                                         static_cast<std::size_t>(routers()) +
                                      static_cast<std::size_t>(dr)];
     return port == kEject ? kInvalidPort : port;
   }
@@ -124,11 +213,12 @@ class DragonflyTopology {
   // Sentinel inside min_port_ marking "destination router reached".
   static constexpr std::int16_t kEject = -2;
 
+  /// Fills a candidate from a group-level channel id of `r`'s group.
+  void fill_candidate(RouterId r, std::int32_t channel,
+                      NonminCandidate& out) const;
+
   TopoParams params_;
   std::int32_t groups_ = 0;
-  std::int32_t routers_ = 0;
-  std::int32_t nodes_ = 0;
-  std::int32_t forward_ports_ = 0;
 
   std::vector<RouterId> peer_;          // [routers x forward_ports]
   std::vector<std::int16_t> peer_port_; // [routers x forward_ports]

@@ -1,0 +1,21 @@
+#include "topo/factory.hpp"
+
+#include "fbfly/fb_topology.hpp"
+#include "topo/dragonfly.hpp"
+#include "topo/torus.hpp"
+
+namespace dfsim {
+
+std::unique_ptr<Topology> make_topology(const SimParams& params) {
+  switch (params.topology) {
+    case TopologyKind::kFbfly:
+      return std::make_unique<FlattenedButterflyTopology>(params.fbfly);
+    case TopologyKind::kTorus:
+      return std::make_unique<TorusTopology>(params.torus);
+    case TopologyKind::kDragonfly:
+      break;
+  }
+  return std::make_unique<DragonflyTopology>(params.topo);
+}
+
+}  // namespace dfsim

@@ -1,0 +1,15 @@
+// Topology factory: instantiates the Topology plugin SimParams selects.
+#pragma once
+
+#include <memory>
+
+#include "sim/config.hpp"
+#include "topo/topology.hpp"
+
+namespace dfsim {
+
+/// Builds the topology named by `params.topology` from the matching shape
+/// struct. Throws std::invalid_argument on invalid shapes.
+[[nodiscard]] std::unique_ptr<Topology> make_topology(const SimParams& params);
+
+}  // namespace dfsim

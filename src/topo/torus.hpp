@@ -1,0 +1,140 @@
+// k-ary n-cube (torus) Topology plugin for the unified engine.
+//
+// Routers are points of a k^n grid with wrap-around rings per dimension and
+// c terminals per router; each dimension contributes a plus port (2d) and a
+// minus port (2d+1). Minimal routing is Dimension-Order taking the shorter
+// ring direction (ties broken toward plus, which is what makes tornado
+// traffic at offset k/2 the classic MIN-collapse adversary); nonminimal
+// routing is Valiant through a random intermediate router.
+//
+// Deadlock avoidance uses dateline VCs doubled per Valiant phase: within a
+// phase a packet uses VC 0 of the pair until it traverses the wrap link of
+// the current dimension and VC 1 after, and the destination leg uses the
+// second pair. vc_class returns (phase0 ? 0 : 2) + crossed, so configure
+// vcs_local >= 4. The per-packet vc_state byte packs
+// (current dimension) * 2 + crossed-dateline-in-that-dimension.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/config.hpp"
+#include "topo/topology.hpp"
+#include "util/types.hpp"
+
+namespace dfsim {
+
+class TorusTopology final : public Topology {
+ public:
+  explicit TorusTopology(const TorusParams& params);
+
+  [[nodiscard]] const TorusParams& params() const { return params_; }
+
+  [[nodiscard]] std::int32_t coord(RouterId r, std::int32_t dim) const {
+    std::int32_t v = r;
+    for (std::int32_t d = 0; d < dim; ++d) v /= params_.k;
+    return v % params_.k;
+  }
+  [[nodiscard]] std::int32_t ring_distance(std::int32_t from,
+                                           std::int32_t to) const {
+    const std::int32_t k = params_.k;
+    const std::int32_t plus = ((to - from) % k + k) % k;
+    return std::min(plus, k - plus);
+  }
+  [[nodiscard]] std::int32_t dor_hops(RouterId from, RouterId to) const {
+    std::int32_t hops = 0;
+    for (std::int32_t dim = 0; dim < params_.n; ++dim) {
+      hops += ring_distance(coord(from, dim), coord(to, dim));
+    }
+    return hops;
+  }
+  /// True when taking `out` at `r` traverses that ring's wrap-around link.
+  [[nodiscard]] bool is_wrap_hop(RouterId r, PortIndex out) const {
+    const std::int32_t c = coord(r, out / 2);
+    return (out % 2 == 0) ? c == params_.k - 1 : c == 0;
+  }
+
+  // --- Topology interface -------------------------------------------------
+
+  [[nodiscard]] PortClass port_class(PortIndex port) const override {
+    (void)port;
+    return PortClass::kLocalClass;
+  }
+  [[nodiscard]] RouterId peer(RouterId r, PortIndex port) const override;
+  [[nodiscard]] PortIndex peer_port(RouterId r, PortIndex port) const override {
+    (void)r;
+    return port ^ 1;  // plus links feed the peer's minus port and vice versa
+  }
+  [[nodiscard]] PortIndex minimal_output(RouterId r,
+                                         NodeId dest) const override;
+  [[nodiscard]] PortIndex route_toward(RouterId r,
+                                       RouterId target) const override;
+
+  [[nodiscard]] VcIndex vc_class(RouterId r, PortIndex out,
+                                 std::int8_t vc_state,
+                                 bool phase0) const override {
+    return (phase0 ? 0 : 2) + crossed_after(r, out, vc_state);
+  }
+  [[nodiscard]] HopTransition on_hop(RouterId r, PortIndex out,
+                                     std::int8_t vc_state) const override {
+    const std::int8_t next = static_cast<std::int8_t>(
+        (out / 2) * 2 + crossed_after(r, out, vc_state));
+    return {next, false, false};
+  }
+  [[nodiscard]] std::int8_t phase_end_state(
+      std::int8_t vc_state) const override {
+    return static_cast<std::int8_t>(vc_state & ~1);  // fresh dateline leg
+  }
+
+  [[nodiscard]] std::int32_t min_channel(RouterId r, NodeId dst) const override;
+  [[nodiscard]] std::int32_t nonmin_pool_size(
+      RouterId r, bool own_router_only) const override {
+    (void)r;
+    (void)own_router_only;
+    return routers();
+  }
+  [[nodiscard]] bool sample_nonmin(Rng& rng, RouterId r, NodeId dst,
+                                   bool own_router_only,
+                                   NonminCandidate& out) const override;
+  [[nodiscard]] bool sample_valiant(Rng& rng, RouterId r, NodeId dst,
+                                    NonminCandidate& out) const override;
+
+  [[nodiscard]] HopEstimate min_hops(RouterId r, RouterId dr) const override {
+    return {dor_hops(r, dr), 0};
+  }
+  [[nodiscard]] HopEstimate nonmin_hops(RouterId r,
+                                        const NonminCandidate& cand,
+                                        RouterId dr) const override {
+    return {dor_hops(r, cand.inter) + dor_hops(cand.inter, dr), 0};
+  }
+  [[nodiscard]] bool min_link_probe(RouterId r, NodeId dst,
+                                    RemoteProbe& out) const override;
+  [[nodiscard]] bool min_remote_probe(RouterId r, NodeId dst,
+                                      RemoteProbe& out) const override {
+    return min_link_probe(r, dst, out);  // one-hop-lookahead queue
+  }
+  [[nodiscard]] bool nonmin_remote_probe(RouterId r,
+                                         const NonminCandidate& cand,
+                                         RemoteProbe& out) const override;
+
+  [[nodiscard]] bool can_misroute_in_transit(
+      RouterId r, RouterId src_router, std::int8_t vc_state) const override {
+    (void)vc_state;
+    return r == src_router;
+  }
+
+  [[nodiscard]] TrafficTopologyInfo traffic_info() const override;
+
+ private:
+  [[nodiscard]] std::int32_t crossed_after(RouterId r, PortIndex out,
+                                           std::int8_t vc_state) const {
+    const std::int32_t dim = out / 2;
+    const std::int32_t prev = (vc_state / 2 == dim) ? (vc_state & 1) : 0;
+    return prev | (is_wrap_hop(r, out) ? 1 : 0);
+  }
+  [[nodiscard]] bool make_candidate(RouterId r, RouterId inter,
+                                    NonminCandidate& out) const;
+
+  TorusParams params_;
+};
+
+}  // namespace dfsim

@@ -1,0 +1,135 @@
+// Saturation-regime correctness: the three failure classes deep saturation
+// used to trigger.
+//
+// (1) Head-wait counter overflow: q_wait_ was a bare int16_t incremented
+//     every stalled cycle; past 32767 cycles it wrapped negative and the
+//     `(wait - kReEvalWait) % 8` re-evaluation predicate went permanently
+//     false, disabling blocked-head escape under deep saturation. The
+//     bounded counter must fire on exactly the ideal unbounded cadence for
+//     arbitrarily long stalls.
+// (2) Latency-histogram top-bucket clamping: out-of-range latencies were
+//     silently folded into the last bucket, under-reporting p99; they must
+//     be tracked as overflow and quantiles must saturate visibly.
+// (3) Zero-length measurement windows: throughput-style rates right after
+//     begin_measurement() must be 0, not NaN/inf, and run_steady with
+//     measure=0 must produce finite numbers end to end.
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "engine/experiment.hpp"
+#include "engine/head_wait.hpp"
+#include "engine/simulator.hpp"
+#include "util/histogram.hpp"
+
+int main() {
+  using namespace dfsim;
+
+  // --- (1) head-wait cadence for stalls far past the old int16 wrap ------
+  {
+    // Reference: the ideal unbounded counter fires at wait = 4, 12, 20, ...
+    std::int16_t wait = 0;
+    std::int64_t fires = 0;
+    std::int64_t last_fire = -1;
+    const std::int64_t stall_cycles = 100000;  // >> 32767, the old wrap point
+    for (std::int64_t cycle = 0; cycle < stall_cycles; ++cycle) {
+      const bool due = head_wait_due(wait);
+      const bool ideal_due =
+          cycle >= kReEvalWait && (cycle - kReEvalWait) % kReEvalPeriod == 0;
+      if (due != ideal_due) {
+        std::fprintf(stderr, "head-wait cadence diverges at stalled cycle %lld\n",
+                     static_cast<long long>(cycle));
+        return EXIT_FAILURE;
+      }
+      if (due) {
+        ++fires;
+        last_fire = cycle;
+      }
+      wait = advance_head_wait(wait);
+      assert(wait >= 0 && wait < kReEvalWait + kReEvalPeriod);  // bounded
+    }
+    assert(fires == (stall_cycles - kReEvalWait + kReEvalPeriod - 1) /
+                        kReEvalPeriod);
+    assert(last_fire > 32767);  // still firing past the old overflow point
+  }
+
+  // Integration smoke: a deeply saturated contention-based run far past the
+  // old wrap point keeps delivering and keeps misrouting (blocked heads
+  // still re-evaluate their escape).
+  {
+    SimParams p = presets::tiny();
+    p.routing.kind = RoutingKind::kCbBase;
+    p.traffic.kind = TrafficKind::kAdversarial;
+    p.traffic.adv_offset = 1;
+    p.traffic.load = 0.8;  // far past the ADV saturation point
+    p.seed = 9;
+    Simulator sim(p);
+    sim.run(34000);  // > 32767 saturated cycles
+    sim.begin_measurement();
+    sim.run(2000);
+    assert(sim.metrics().delivered > 0);
+    assert(sim.metrics().misrouted_fraction() > 0.1);
+    assert(sim.backlog_per_node() > 4.0);  // genuinely saturated
+  }
+
+  // --- (2) histogram overflow tracking ------------------------------------
+  {
+    LatencyHistogram h;
+    h.add(10);
+    h.add(100);
+    h.add(1000);
+    assert(h.total() == 3);
+    assert(h.overflow() == 0);
+    assert(h.quantile(0.5) > 0.0 && h.quantile(0.99) <= 1024.0);
+
+    // Out-of-range latencies: at and beyond the top bucket boundary.
+    const std::int64_t huge = std::int64_t{1} << 62;
+    h.add(huge);
+    h.add(huge + 12345);
+    assert(h.total() == 5);
+    assert(h.overflow() == 2);
+    // The median is still in range...
+    assert(h.quantile(0.5) <= 1024.0);
+    // ...but tail quantiles that land among the overflow samples saturate
+    // at the range boundary instead of silently under-reporting.
+    assert(h.quantile(0.99) == LatencyHistogram::overflow_boundary());
+
+    LatencyHistogram other;
+    other.add(huge);
+    other.merge(h);
+    assert(other.overflow() == 3);
+    assert(other.total() == 6);
+
+    // All-overflow histogram: every quantile saturates.
+    LatencyHistogram all;
+    all.add(huge);
+    assert(all.quantile(0.01) == LatencyHistogram::overflow_boundary());
+  }
+
+  // --- (3) zero-length measurement windows --------------------------------
+  {
+    SimParams p = presets::tiny();
+    p.seed = 5;
+    Simulator sim(p);
+    sim.run(200);
+    sim.begin_measurement();
+    // No cycles measured yet: rates must be exactly 0, not NaN/inf.
+    assert(sim.measured_cycles() == 0);
+    assert(sim.throughput() == 0.0);
+    assert(sim.generated_load() == 0.0);
+    assert(std::isfinite(sim.backlog_per_node()));
+
+    SteadyOptions opt;
+    opt.warmup = 100;
+    opt.measure = 0;  // degenerate window straight through the driver
+    const SteadyResult r = run_steady(p, opt);
+    assert(std::isfinite(r.throughput) && r.throughput == 0.0);
+    assert(std::isfinite(r.generated_load) && r.generated_load == 0.0);
+    assert(std::isfinite(r.latency_avg));
+    assert(std::isfinite(r.latency_p99));
+    assert(std::isfinite(r.backlog_per_node));
+  }
+
+  return EXIT_SUCCESS;
+}

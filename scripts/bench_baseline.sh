@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Emits BENCH_micro.json: combined google-benchmark JSON for the three
-# micro-bench regression gates (counters, allocator, topology), and
-# BENCH_workloads.json: the ablation_workloads CSV tables (tiny scale) as a
-# JSON entry, so workload-level regressions are tracked alongside the micro
-# gates.
+# Emits the committed perf-trajectory artifacts:
+#   BENCH_micro.json     — combined google-benchmark JSON for the micro
+#                          regression gates (counters, allocator, topology);
+#   BENCH_workloads.json — the ablation_workloads registry experiment at
+#                          tiny scale as a schema-versioned dfsim-results/v1
+#                          document (emitted by dfsim_run, rev-stripped so
+#                          re-running on an unchanged tree is a no-op diff).
 #
 # Usage: scripts/bench_baseline.sh [build-dir] [micro-out] [workloads-out]
 set -euo pipefail
@@ -50,32 +52,13 @@ with open(out, "w") as f:
 print(f"wrote {out}")
 EOF
 
-# Workload ablation entry: tiny-scale CSV of every traffic model x routing,
-# parsed into {table title: [rows...]} for diffing across commits.
-if [[ ! -x "$BUILD_DIR/ablation_workloads" ]]; then
-  echo "error: $BUILD_DIR/ablation_workloads missing — build it first" >&2
+# Workload baseline through the experiment registry: structured JSON with
+# config hash + full metric set, diffable across commits.
+if [[ ! -x "$BUILD_DIR/dfsim_run" ]]; then
+  echo "error: $BUILD_DIR/dfsim_run missing — build it first" >&2
   exit 1
 fi
-WORKLOADS_ARGS=(--scale=tiny --warmup=500 --measure=1000 --csv)
-"$BUILD_DIR/ablation_workloads" "${WORKLOADS_ARGS[@]}" > "$tmpdir/workloads.csv"
-
-python3 - "$WORKLOADS_OUT" "$tmpdir/workloads.csv" "${WORKLOADS_ARGS[*]}" <<'EOF'
-import json, sys
-out, csv_path, args = sys.argv[1], sys.argv[2], sys.argv[3]
-tables, title, rows = {}, None, []
-with open(csv_path) as f:
-    for line in f:
-        line = line.strip()
-        if line.startswith("== "):
-            if title is not None:
-                tables[title] = rows
-            title, rows = line.strip("= "), []
-        elif line and not line.startswith("#"):
-            rows.append(line.split(","))
-if title is not None:
-    tables[title] = rows
-with open(out, "w") as f:
-    json.dump({"ablation_workloads": {"args": args, "tables": tables}}, f,
-              indent=1)
-print(f"wrote {out}")
-EOF
+"$BUILD_DIR/dfsim_run" run --experiments=ablation_workloads --scale=tiny \
+  --warmup=500 --measure=1000 --quiet --strip-rev --out="$tmpdir/workloads"
+cp "$tmpdir/workloads/ablation_workloads.json" "$WORKLOADS_OUT"
+echo "wrote $WORKLOADS_OUT"

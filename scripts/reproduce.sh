@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Reproduce "the paper" in one command: run every registered experiment at
+# the chosen scale, evaluate the paper-parity gates (trend gates at every
+# scale; golden-curve comparison when the run matches the committed
+# tests/goldens settings, i.e. at --scale=tiny defaults), and render
+# RESULTS.md from the emitted JSON.
+#
+# Usage: scripts/reproduce.sh [--scale=tiny|small|medium|paper]
+#                             [--out=results] [--build-dir=build]
+#                             [--results-md=RESULTS.md] [--skip-build]
+#                             [-- extra dfsim_run run flags...]
+set -euo pipefail
+
+SCALE="tiny"
+OUT="results"
+BUILD_DIR="build"
+RESULTS_MD="RESULTS.md"
+SKIP_BUILD=0
+EXTRA_ARGS=()
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --scale=*)      SCALE="${1#*=}" ;;
+    --out=*)        OUT="${1#*=}" ;;
+    --build-dir=*)  BUILD_DIR="${1#*=}" ;;
+    --results-md=*) RESULTS_MD="${1#*=}" ;;
+    --skip-build)   SKIP_BUILD=1 ;;
+    --) shift; EXTRA_ARGS=("$@"); break ;;
+    *) echo "error: unknown flag '$1'" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$REPO_ROOT"
+
+if [[ "$SKIP_BUILD" -eq 0 ]]; then
+  cmake -B "$BUILD_DIR" -S . >/dev/null
+  cmake --build "$BUILD_DIR" -j --target dfsim_run >/dev/null
+fi
+
+RUN="$BUILD_DIR/dfsim_run"
+if [[ ! -x "$RUN" ]]; then
+  echo "error: $RUN not built (run cmake first or drop --skip-build)" >&2
+  exit 1
+fi
+
+echo "== running the full experiment registry at scale=$SCALE -> $OUT/ =="
+"$RUN" run --experiments=all --scale="$SCALE" --out="$OUT" --quiet \
+  "${EXTRA_ARGS[@]+"${EXTRA_ARGS[@]}"}"
+
+echo "== paper-parity gates =="
+CHECK_STATUS=0
+"$RUN" check --in="$OUT" --goldens=tests/goldens || CHECK_STATUS=$?
+
+echo "== rendering $RESULTS_MD =="
+"$RUN" render --in="$OUT" --out="$RESULTS_MD" --goldens=tests/goldens \
+  || CHECK_STATUS=$?
+
+if [[ "$CHECK_STATUS" -ne 0 ]]; then
+  echo "reproduce: parity gates FAILED (see above / $RESULTS_MD)" >&2
+  exit "$CHECK_STATUS"
+fi
+echo "reproduce: done — JSON+CSV in $OUT/, report in $RESULTS_MD, all gates passed"

@@ -1,0 +1,123 @@
+// Minimal self-contained JSON value for the results pipeline: ordered
+// objects (insertion order is preserved so document layout is stable),
+// a strict parser, and a canonical writer. The writer formats numbers with
+// the shortest representation that round-trips through strtod, so
+// emit -> parse -> re-emit is byte-identical — the property the golden
+// files and the schema round-trip test rely on.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dfsim::report {
+
+class Json {
+ public:
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Json() = default;  // null
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double v) : type_(Type::kNumber), number_(v) {}
+  Json(int v) : type_(Type::kNumber), number_(v) {}
+  Json(std::int64_t v)
+      : type_(Type::kNumber), number_(static_cast<double>(v)) {}
+  Json(const char* s) : type_(Type::kString), string_(s) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+
+  [[nodiscard]] static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  [[nodiscard]] static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+
+  [[nodiscard]] bool as_bool() const {
+    expect(Type::kBool);
+    return bool_;
+  }
+  [[nodiscard]] double as_number() const {
+    expect(Type::kNumber);
+    return number_;
+  }
+  [[nodiscard]] const std::string& as_string() const {
+    expect(Type::kString);
+    return string_;
+  }
+
+  // -- arrays
+  void push_back(Json v) {
+    expect(Type::kArray);
+    items_.push_back(std::move(v));
+  }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] const Json& at(std::size_t i) const {
+    expect(Type::kArray);
+    return items_.at(i);
+  }
+  [[nodiscard]] const std::vector<Json>& items() const { return items_; }
+
+  // -- objects
+  /// Insert-or-assign; preserves first-insertion order.
+  Json& set(const std::string& key, Json value);
+  /// nullptr when the key is absent (or this is not an object).
+  [[nodiscard]] const Json* find(const std::string& key) const;
+  /// Throws std::runtime_error naming the missing key.
+  [[nodiscard]] const Json& get(const std::string& key) const;
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members()
+      const {
+    return object_;
+  }
+
+  // -- convenience typed lookups with fallback
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       const std::string& fallback = "") const;
+  [[nodiscard]] double get_number(const std::string& key,
+                                  double fallback = 0.0) const;
+
+  /// Canonical serialization: 2-space indent, keys in insertion order,
+  /// shortest round-trip number formatting, "\n"-terminated at top level.
+  [[nodiscard]] std::string dump() const;
+
+  /// Strict JSON parse; throws std::runtime_error with an offset on error.
+  [[nodiscard]] static Json parse(const std::string& text);
+
+  /// Shortest string that strtod parses back to exactly `v`. Non-finite
+  /// values serialize as null (they mean "no data" throughout the schema).
+  [[nodiscard]] static std::string number_to_string(double v);
+
+ private:
+  void expect(Type t) const {
+    if (type_ != t) throw std::runtime_error("json: wrong type access");
+  }
+  void write(std::string& out, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace dfsim::report

@@ -1,0 +1,315 @@
+#include "report/render.hpp"
+
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+#include "report/registry.hpp"
+#include "report/runner.hpp"
+#include "util/table.hpp"
+
+namespace dfsim::report {
+
+namespace {
+
+struct MetricStyle {
+  const char* name;
+  const char* label;
+  int precision;
+  bool sat_markable;  // latency cells past saturation print "sat"
+};
+
+/// Metrics worth a table, in print order (the full set stays in the JSON).
+const std::vector<MetricStyle>& grid_styles() {
+  static const std::vector<MetricStyle> kStyles{
+      {"latency_avg", "average packet latency (cycles)", 1, true},
+      {"latency_p99", "p99 packet latency (cycles)", 1, true},
+      {"throughput", "accepted load (phits/node/cycle)", 3, false},
+      {"misrouted_pct", "globally misrouted packets (%)", 1, false},
+      {"minpath_pct", "fully minimal paths (%)", 1, false},
+  };
+  return kStyles;
+}
+
+const std::vector<MetricStyle>& transient_styles() {
+  static const std::vector<MetricStyle> kStyles{
+      {"latency_avg", "average latency of delivered packets (cycles)", 1,
+       false},
+      {"misrouted_pct", "misrouted packets (%)", 1, false},
+  };
+  return kStyles;
+}
+
+std::string format_cell(const Panel& panel, const MetricStyle& style,
+                        const std::vector<std::vector<double>>& rows,
+                        std::size_t xi, std::size_t si) {
+  if (style.sat_markable && panel.saturated_cell(xi, si)) return "sat";
+  const double v = rows[xi][si];
+  if (!std::isfinite(v)) return "-";
+  return format_fixed(v, style.precision);
+}
+
+/// Which styles apply to this panel (only metrics it actually carries, and
+/// minpath only when some cell is below 100% — i.e. the panel is about it).
+std::vector<MetricStyle> styles_for(const Panel& panel) {
+  const auto& candidates = panel.kind == Panel::Kind::kTransient
+                               ? transient_styles()
+                               : grid_styles();
+  std::vector<MetricStyle> styles;
+  for (const MetricStyle& style : candidates) {
+    const auto* rows = panel.metric(style.name);
+    if (!rows) continue;
+    if (std::string(style.name) == "minpath_pct") {
+      bool interesting = false;
+      for (const auto& row : *rows) {
+        for (const double v : row) {
+          if (std::isfinite(v) && v < 99.0) interesting = true;
+        }
+      }
+      if (!interesting) continue;
+    }
+    styles.push_back(style);
+  }
+  // Panels with custom metrics only (e.g. the ECtN encodings): print every
+  // metric raw.
+  if (styles.empty() && panel.kind != Panel::Kind::kInfo) {
+    for (const auto& [name, rows] : panel.metrics) {
+      styles.push_back(MetricStyle{name.c_str(), name.c_str(), 2, false});
+    }
+  }
+  return styles;
+}
+
+/// Single-series panels pivot to rows=x, cols=metrics (the ECtN overhead
+/// shape); everything else is rows=x, cols=series per metric.
+bool pivoted(const Panel& panel) {
+  return panel.kind == Panel::Kind::kGrid && panel.series.size() == 1 &&
+         panel.metrics.size() > 3 && !panel.metric("latency_avg");
+}
+
+ResultTable info_table(const Panel& panel) {
+  ResultTable table(panel.columns);
+  for (const auto& row : panel.cells) {
+    table.begin_row();
+    for (std::size_t ci = 0; ci < panel.columns.size() && ci < row.size();
+         ++ci) {
+      table.set(panel.columns[ci], row[ci]);
+    }
+  }
+  return table;
+}
+
+ResultTable metric_table(const Panel& panel, const MetricStyle& style) {
+  std::vector<std::string> columns{panel.x_label.empty() ? "x"
+                                                         : panel.x_label};
+  for (const std::string& s : panel.series) columns.push_back(s);
+  ResultTable table(columns);
+  const auto* rows = panel.metric(style.name);
+  for (std::size_t xi = 0; xi < panel.x_labels.size() && rows; ++xi) {
+    table.begin_row();
+    table.set(columns[0], panel.x_labels[xi]);
+    for (std::size_t si = 0; si < panel.series.size(); ++si) {
+      table.set(panel.series[si], format_cell(panel, style, *rows, xi, si));
+    }
+  }
+  return table;
+}
+
+ResultTable pivot_table(const Panel& panel) {
+  std::vector<std::string> columns{panel.x_label.empty() ? "x"
+                                                         : panel.x_label};
+  for (const auto& [name, rows] : panel.metrics) columns.push_back(name);
+  ResultTable table(columns);
+  for (std::size_t xi = 0; xi < panel.x_labels.size(); ++xi) {
+    table.begin_row();
+    table.set(columns[0], panel.x_labels[xi]);
+    for (const auto& [name, rows] : panel.metrics) {
+      const double v = xi < rows.size() && !rows[xi].empty()
+                           ? rows[xi][0]
+                           : std::numeric_limits<double>::quiet_NaN();
+      table.set(name, std::isfinite(v) ? format_fixed(v, 2) : "-");
+    }
+  }
+  return table;
+}
+
+// -------------------------------------------------------------------------
+// Trend commentary computed from the data
+
+std::string peak_throughput_line(const Panel& panel) {
+  const auto* thpt = panel.metric("throughput");
+  if (!thpt || panel.series.empty()) return {};
+  std::string line = "peak accepted load: ";
+  for (std::size_t si = 0; si < panel.series.size(); ++si) {
+    double peak = 0.0;
+    for (const auto& row : *thpt) {
+      if (si < row.size() && std::isfinite(row[si])) {
+        peak = std::max(peak, row[si]);
+      }
+    }
+    if (si) line += ", ";
+    line += panel.series[si] + " " + format_fixed(peak, 3);
+  }
+  return line;
+}
+
+std::string adaptation_line(const Panel& panel) {
+  const auto* mis = panel.metric("misrouted_pct");
+  if (!mis) return {};
+  std::string line = "cycles to 50% misrouted after the switch: ";
+  bool any = false;
+  for (std::size_t si = 0; si < panel.series.size(); ++si) {
+    std::string when = "never";
+    for (std::size_t xi = 0; xi < mis->size(); ++xi) {
+      if (panel.x_values[xi] < 0) continue;
+      if (si < (*mis)[xi].size() && (*mis)[xi][si] >= 50.0) {
+        when = format_fixed(panel.x_values[xi], 0);
+        any = true;
+        break;
+      }
+    }
+    if (si) line += ", ";
+    line += panel.series[si] + " " + when;
+  }
+  return any ? line : std::string{};
+}
+
+std::vector<std::string> commentary(const Panel& panel) {
+  std::vector<std::string> lines;
+  if (panel.kind == Panel::Kind::kGrid && panel.metric("throughput") &&
+      panel.series.size() > 1) {
+    lines.push_back(peak_throughput_line(panel));
+  }
+  if (panel.kind == Panel::Kind::kTransient) {
+    const std::string line = adaptation_line(panel);
+    if (!line.empty()) lines.push_back(line);
+  }
+  for (const std::string& note : panel.notes) lines.push_back(note);
+  return lines;
+}
+
+void write_markdown_table(const ResultTable& table, std::string& out) {
+  const auto& columns = table.columns();
+  out += '|';
+  for (const std::string& c : columns) out += ' ' + c + " |";
+  out += "\n|";
+  for (std::size_t i = 0; i < columns.size(); ++i) out += "---|";
+  out += '\n';
+  for (std::size_t r = 0; r < table.rows(); ++r) {
+    out += '|';
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      out += ' ' + table.cell(r, c) + " |";
+    }
+    out += '\n';
+  }
+}
+
+}  // namespace
+
+void print_doc(const ResultsDoc& doc, bool csv, std::ostream& os) {
+  os << "# " << doc.header.experiment << " — " << doc.header.title
+     << "\n# scale=" << doc.header.scale << " (" << doc.header.nodes
+     << " nodes, " << doc.header.topology
+     << "), warmup=" << doc.header.warmup << " measure=" << doc.header.measure
+     << " reps=" << doc.header.reps << " seed=" << doc.header.seed
+     << " config=" << doc.header.config_hash << "\n\n";
+  auto emit = [&](const ResultTable& table, const std::string& title) {
+    os << "== " << title << " ==\n";
+    if (csv) {
+      table.write_csv(os);
+    } else {
+      table.write_pretty(os);
+    }
+    os << "\n";
+  };
+  for (const Panel& panel : doc.panels) {
+    if (panel.kind == Panel::Kind::kInfo) {
+      emit(info_table(panel), panel.name);
+    } else if (pivoted(panel)) {
+      emit(pivot_table(panel), panel.name);
+    } else {
+      for (const MetricStyle& style : styles_for(panel)) {
+        emit(metric_table(panel, style),
+             panel.name + " — " + style.label);
+      }
+    }
+    for (const std::string& line : commentary(panel)) {
+      os << "  " << line << "\n";
+    }
+    if (!panel.notes.empty() || panel.kind != Panel::Kind::kInfo) os << "\n";
+  }
+}
+
+std::string render_markdown(const std::vector<ResultsDoc>& docs,
+                            const std::vector<GateOutcome>& gates) {
+  std::string out;
+  out +=
+      "# dfsim results\n\n"
+      "Generated by `dfsim_run render` from schema-versioned result "
+      "documents (`" +
+      std::string(kSchemaVersion) +
+      "`).\nRegenerate everything with `scripts/reproduce.sh "
+      "--scale=<tiny|small|medium|paper>`.\nDo not edit by hand.\n\n";
+  if (!docs.empty()) {
+    out += "Run configuration: scale `" + docs.front().header.scale +
+           "`, git `" +
+           (docs.front().header.git_rev.empty() ? "-"
+                                                : docs.front().header.git_rev) +
+           "`.\n\n";
+  }
+
+  out += "## Paper-parity gates\n\n";
+  if (gates.empty()) {
+    out += "No gates evaluated.\n\n";
+  } else {
+    out += "| experiment | gate | status | detail |\n|---|---|---|---|\n";
+    for (const GateOutcome& g : gates) {
+      const char* mark = g.status == GateStatus::kPass   ? "✅ PASS"
+                         : g.status == GateStatus::kFail ? "❌ FAIL"
+                                                         : "⏭️ SKIP";
+      out += "| " + g.experiment + " | " + g.gate + " | " + mark + " | " +
+             g.detail + " |\n";
+    }
+    out += "\n";
+  }
+
+  for (const ResultsDoc& doc : docs) {
+    const Header& h = doc.header;
+    out += "## " + h.experiment + " — " + h.title + "\n\n";
+    out += "*" + h.paper_ref + " · " + h.topology + " · scale " + h.scale +
+           " (" + std::to_string(h.nodes) + " nodes) · warmup " +
+           std::to_string(h.warmup) + " · measure " +
+           std::to_string(h.measure) + " · reps " + std::to_string(h.reps) +
+           " · seed " + std::to_string(h.seed) + " · config `" +
+           h.config_hash + "`*\n\n";
+    if (const ExperimentSpec* spec = find_experiment(h.experiment)) {
+      out += std::string(spec->description) + "\n\n";
+    }
+    for (const Panel& panel : doc.panels) {
+      out += "### " + panel.name + "\n\n";
+      if (panel.kind == Panel::Kind::kInfo) {
+        write_markdown_table(info_table(panel), out);
+        out += '\n';
+      } else if (pivoted(panel)) {
+        write_markdown_table(pivot_table(panel), out);
+        out += '\n';
+      } else {
+        for (const MetricStyle& style : styles_for(panel)) {
+          out += "**" + std::string(style.label) + "**\n\n";
+          write_markdown_table(metric_table(panel, style), out);
+          out += '\n';
+        }
+      }
+      const std::vector<std::string> lines = commentary(panel);
+      if (!lines.empty()) {
+        for (const std::string& line : lines) {
+          out += "- " + line + "\n";
+        }
+        out += '\n';
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dfsim::report

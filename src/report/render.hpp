@@ -1,0 +1,25 @@
+// Generated-RESULTS.md renderer: turns a set of results documents plus the
+// parity-gate outcomes into the figure-by-figure markdown report
+// scripts/reproduce.sh commits. Pure function of its inputs — no
+// timestamps, so regenerating from identical JSON is a no-op diff.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "report/parity.hpp"
+#include "report/schema.hpp"
+
+namespace dfsim::report {
+
+/// Pretty-prints one document to a terminal (the `dfsim_run run` default
+/// output) using the shared ResultTable writers.
+void print_doc(const ResultsDoc& doc, bool csv, std::ostream& os);
+
+/// Renders the full markdown report: header, parity-gate table, then one
+/// section per document (tables per metric + computed trend commentary).
+[[nodiscard]] std::string render_markdown(
+    const std::vector<ResultsDoc>& docs,
+    const std::vector<GateOutcome>& gates);
+
+}  // namespace dfsim::report

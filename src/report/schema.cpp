@@ -1,0 +1,376 @@
+#include "report/schema.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace dfsim::report {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Panel lookups
+
+const std::vector<std::vector<double>>* Panel::metric(
+    const std::string& name) const {
+  for (const auto& [n, rows] : metrics) {
+    if (n == name) return &rows;
+  }
+  return nullptr;
+}
+
+std::size_t Panel::series_index(const std::string& series_name) const {
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (series[i] == series_name) return i;
+  }
+  return series.size();
+}
+
+std::size_t Panel::x_index(const std::string& x_tick) const {
+  for (std::size_t i = 0; i < x_labels.size(); ++i) {
+    if (x_labels[i] == x_tick) return i;
+  }
+  return x_labels.size();
+}
+
+double Panel::value(const std::string& metric_name, const std::string& x_tick,
+                    const std::string& series_name) const {
+  const auto* rows = metric(metric_name);
+  const std::size_t xi = x_index(x_tick);
+  const std::size_t si = series_index(series_name);
+  if (!rows || xi >= rows->size() || si >= (*rows)[xi].size()) return kNaN;
+  return (*rows)[xi][si];
+}
+
+bool Panel::saturated_cell(std::size_t xi, std::size_t si) const {
+  const auto* backlog = metric("backlog_per_node");
+  return backlog && xi < backlog->size() && si < (*backlog)[xi].size() &&
+         (*backlog)[xi][si] > kSaturationBacklog;
+}
+
+const Panel* ResultsDoc::panel(const std::string& name) const {
+  for (const Panel& p : panels) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// JSON serialization
+
+namespace {
+
+Json number_or_null(double v) {
+  return std::isfinite(v) ? Json(v) : Json();
+}
+
+Json string_array(const std::vector<std::string>& items) {
+  Json arr = Json::array();
+  for (const std::string& s : items) arr.push_back(Json(s));
+  return arr;
+}
+
+std::vector<std::string> strings_from(const Json& arr) {
+  std::vector<std::string> out;
+  out.reserve(arr.size());
+  for (const Json& item : arr.items()) out.push_back(item.as_string());
+  return out;
+}
+
+const char* kind_name(Panel::Kind kind) {
+  switch (kind) {
+    case Panel::Kind::kGrid: return "grid";
+    case Panel::Kind::kTransient: return "transient";
+    case Panel::Kind::kInfo: return "info";
+  }
+  return "grid";
+}
+
+Panel::Kind kind_from_name(const std::string& name) {
+  if (name == "grid") return Panel::Kind::kGrid;
+  if (name == "transient") return Panel::Kind::kTransient;
+  if (name == "info") return Panel::Kind::kInfo;
+  throw std::runtime_error("results: unknown panel kind '" + name + "'");
+}
+
+}  // namespace
+
+Json to_json(const ResultsDoc& doc) {
+  Json root = Json::object();
+  const Header& h = doc.header;
+  root.set("schema", Json(h.schema));
+  root.set("experiment", Json(h.experiment));
+  root.set("title", Json(h.title));
+  root.set("paper_ref", Json(h.paper_ref));
+  root.set("topology", Json(h.topology));
+  root.set("scale", Json(h.scale));
+  root.set("nodes", Json(static_cast<double>(h.nodes)));
+  root.set("config_hash", Json(h.config_hash));
+  root.set("git_rev", Json(h.git_rev));
+  root.set("seed", Json(static_cast<double>(h.seed)));
+  root.set("warmup", Json(static_cast<double>(h.warmup)));
+  root.set("measure", Json(static_cast<double>(h.measure)));
+  root.set("reps", Json(static_cast<double>(h.reps)));
+
+  Json panels = Json::array();
+  for (const Panel& panel : doc.panels) {
+    Json p = Json::object();
+    p.set("name", Json(panel.name));
+    p.set("kind", Json(kind_name(panel.kind)));
+    if (panel.kind == Panel::Kind::kInfo) {
+      p.set("columns", string_array(panel.columns));
+      Json rows = Json::array();
+      for (const auto& row : panel.cells) rows.push_back(string_array(row));
+      p.set("rows", std::move(rows));
+    } else {
+      p.set("x_label", Json(panel.x_label));
+      p.set("x_labels", string_array(panel.x_labels));
+      Json xs = Json::array();
+      for (const double v : panel.x_values) xs.push_back(number_or_null(v));
+      p.set("x_values", std::move(xs));
+      p.set("series", string_array(panel.series));
+      Json metrics = Json::object();
+      for (const auto& [name, rows] : panel.metrics) {
+        Json table = Json::array();
+        for (const auto& row : rows) {
+          Json r = Json::array();
+          for (const double v : row) r.push_back(number_or_null(v));
+          table.push_back(std::move(r));
+        }
+        metrics.set(name, std::move(table));
+      }
+      p.set("metrics", std::move(metrics));
+    }
+    if (!panel.notes.empty()) p.set("notes", string_array(panel.notes));
+    panels.push_back(std::move(p));
+  }
+  root.set("panels", std::move(panels));
+  return root;
+}
+
+ResultsDoc doc_from_json(const Json& json) {
+  ResultsDoc doc;
+  Header& h = doc.header;
+  h.schema = json.get("schema").as_string();
+  if (h.schema != kSchemaVersion) {
+    throw std::runtime_error("results: unsupported schema '" + h.schema +
+                             "' (want " + kSchemaVersion + ")");
+  }
+  h.experiment = json.get("experiment").as_string();
+  h.title = json.get_string("title");
+  h.paper_ref = json.get_string("paper_ref");
+  h.topology = json.get_string("topology");
+  h.scale = json.get_string("scale");
+  h.nodes = static_cast<std::int32_t>(json.get_number("nodes"));
+  h.config_hash = json.get_string("config_hash");
+  h.git_rev = json.get_string("git_rev");
+  h.seed = static_cast<std::uint64_t>(json.get_number("seed", 1));
+  h.warmup = static_cast<Cycle>(json.get_number("warmup"));
+  h.measure = static_cast<Cycle>(json.get_number("measure"));
+  h.reps = static_cast<std::int32_t>(json.get_number("reps", 1));
+
+  for (const Json& p : json.get("panels").items()) {
+    Panel panel;
+    panel.name = p.get("name").as_string();
+    panel.kind = kind_from_name(p.get("kind").as_string());
+    if (panel.kind == Panel::Kind::kInfo) {
+      panel.columns = strings_from(p.get("columns"));
+      for (const Json& row : p.get("rows").items()) {
+        panel.cells.push_back(strings_from(row));
+      }
+    } else {
+      panel.x_label = p.get_string("x_label");
+      panel.x_labels = strings_from(p.get("x_labels"));
+      for (const Json& v : p.get("x_values").items()) {
+        panel.x_values.push_back(v.is_number() ? v.as_number() : kNaN);
+      }
+      panel.series = strings_from(p.get("series"));
+      if (panel.x_values.size() != panel.x_labels.size()) {
+        throw std::runtime_error("results: panel '" + panel.name +
+                                 "': x_values/x_labels size mismatch");
+      }
+      for (const auto& [name, table] : p.get("metrics").members()) {
+        std::vector<std::vector<double>> rows;
+        for (const Json& row : table.items()) {
+          std::vector<double> r;
+          r.reserve(row.size());
+          for (const Json& v : row.items()) {
+            r.push_back(v.is_number() ? v.as_number() : kNaN);
+          }
+          // Reject ragged/truncated documents here so downstream consumers
+          // (renderer, gates) can index by x/series position safely.
+          if (r.size() != panel.series.size()) {
+            throw std::runtime_error("results: panel '" + panel.name +
+                                     "' metric '" + name +
+                                     "': row width != series count");
+          }
+          rows.push_back(std::move(r));
+        }
+        if (rows.size() != panel.x_labels.size()) {
+          throw std::runtime_error("results: panel '" + panel.name +
+                                   "' metric '" + name +
+                                   "': row count != x tick count");
+        }
+        panel.metrics.emplace_back(name, std::move(rows));
+      }
+    }
+    if (const Json* notes = p.find("notes")) {
+      panel.notes = strings_from(*notes);
+    }
+    doc.panels.push_back(std::move(panel));
+  }
+  return doc;
+}
+
+namespace {
+
+/// RFC-4180 escaping: labels like "HOTSPOT(n=9,f=0.30)" carry commas.
+std::string csv_field(const std::string& s) {
+  if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void write_csv(const ResultsDoc& doc, std::ostream& os) {
+  os << "experiment,panel,metric,x,series,value\n";
+  for (const Panel& panel : doc.panels) {
+    if (panel.kind == Panel::Kind::kInfo) continue;
+    for (const auto& [metric, rows] : panel.metrics) {
+      for (std::size_t xi = 0; xi < rows.size(); ++xi) {
+        for (std::size_t si = 0; si < rows[xi].size(); ++si) {
+          os << csv_field(doc.header.experiment) << ','
+             << csv_field(panel.name) << ',' << csv_field(metric) << ','
+             << csv_field(xi < panel.x_labels.size() ? panel.x_labels[xi]
+                                                     : std::string{})
+             << ','
+             << csv_field(si < panel.series.size() ? panel.series[si]
+                                                   : std::string{})
+             << ',';
+          if (std::isfinite(rows[xi][si])) {
+            os << Json::number_to_string(rows[xi][si]);
+          }
+          os << '\n';
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Canonical config text + hash
+
+std::string canonical_params_text(const SimParams& p) {
+  std::string out;
+  auto line = [&out](const std::string& key, const std::string& value) {
+    out += key;
+    out += " = ";
+    out += value;
+    out += '\n';
+  };
+  auto i32 = [&line](const std::string& key, std::int32_t v) {
+    line(key, std::to_string(v));
+  };
+  auto f64 = [&line](const std::string& key, double v) {
+    line(key, Json::number_to_string(v));
+  };
+  auto boolean = [&line](const std::string& key, bool v) {
+    line(key, v ? "true" : "false");
+  };
+
+  line("topology", to_string(p.topology));
+  i32("topo.p", p.topo.p);
+  i32("topo.a", p.topo.a);
+  i32("topo.h", p.topo.h);
+  i32("fbfly.k", p.fbfly.k);
+  i32("fbfly.n", p.fbfly.n);
+  i32("fbfly.c", p.fbfly.c);
+  i32("torus.k", p.torus.k);
+  i32("torus.n", p.torus.n);
+  i32("torus.c", p.torus.c);
+  i32("router.pipeline_cycles", p.router.pipeline_cycles);
+  i32("router.speedup", p.router.speedup);
+  i32("router.vcs_local", p.router.vcs_local);
+  i32("router.vcs_global", p.router.vcs_global);
+  i32("router.vcs_injection", p.router.vcs_injection);
+  i32("router.buf_output_phits", p.router.buf_output_phits);
+  i32("router.buf_local_phits", p.router.buf_local_phits);
+  i32("router.buf_global_phits", p.router.buf_global_phits);
+  i32("router.injection_queue_packets", p.router.injection_queue_packets);
+  boolean("router.through_priority", p.router.through_priority);
+  i32("link.local_latency", p.link.local_latency);
+  i32("link.global_latency", p.link.global_latency);
+  line("routing.kind", to_string(p.routing.kind));
+  i32("routing.contention_threshold", p.routing.contention_threshold);
+  i32("routing.hybrid_contention_threshold",
+      p.routing.hybrid_contention_threshold);
+  i32("routing.ectn_combined_threshold", p.routing.ectn_combined_threshold);
+  i32("routing.ectn_update_period",
+      static_cast<std::int32_t>(p.routing.ectn_update_period));
+  i32("routing.counter_saturation", p.routing.counter_saturation);
+  f64("routing.olm_credit_fraction", p.routing.olm_credit_fraction);
+  f64("routing.hybrid_credit_fraction", p.routing.hybrid_credit_fraction);
+  i32("routing.pb_ugal_threshold", p.routing.pb_ugal_threshold);
+  line("routing.global_policy",
+       p.routing.global_policy == GlobalMisroutePolicy::kMmL ? "MM+L" : "CRG");
+  boolean("routing.allow_local_misroute", p.routing.allow_local_misroute);
+  boolean("routing.statistical_trigger", p.routing.statistical_trigger);
+  i32("routing.statistical_window", p.routing.statistical_window);
+  line("traffic.kind", to_string(p.traffic.kind));
+  f64("traffic.load", p.traffic.load);
+  i32("traffic.adv_offset", p.traffic.adv_offset);
+  f64("traffic.mixed_uniform_fraction", p.traffic.mixed_uniform_fraction);
+  i32("traffic.shift_offset", p.traffic.shift_offset);
+  i32("traffic.hotspot_count", p.traffic.hotspot_count);
+  f64("traffic.hotspot_fraction", p.traffic.hotspot_fraction);
+  line("traffic.injection", to_string(p.traffic.injection));
+  f64("traffic.burst_factor", p.traffic.burst_factor);
+  f64("traffic.burst_len", p.traffic.burst_len);
+  if (!p.traffic.trace_path.empty()) {
+    line("traffic.trace_path", p.traffic.trace_path);
+  }
+  f64("traffic.inorder_fraction", p.traffic.inorder_fraction);
+  i32("packet_size_phits", p.packet_size_phits);
+  line("seed", std::to_string(p.seed));
+  return out;
+}
+
+std::string fnv1a_hex(const std::string& text) {
+  std::uint64_t hash = 14695981039346656037ull;
+  for (const char c : text) {
+    hash ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    hash *= 1099511628211ull;
+  }
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+std::string current_git_rev() {
+  std::string rev = "unknown";
+  if (FILE* pipe = ::popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+    char buf[64];
+    if (std::fgets(buf, sizeof(buf), pipe)) {
+      rev.assign(buf);
+      while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r')) {
+        rev.pop_back();
+      }
+      if (rev.empty()) rev = "unknown";
+    }
+    ::pclose(pipe);
+  }
+  return rev;
+}
+
+}  // namespace dfsim::report

@@ -1,0 +1,378 @@
+// dfsim_run — the single CLI over the experiment registry.
+//
+//   dfsim_run list [--markdown]
+//   dfsim_run run [--experiments=all|a,b,..] [--scale=..] [--out=DIR] ...
+//   dfsim_run check --in=DIR [--goldens=DIR] [--rel-tol --abs-tol]
+//   dfsim_run render --in=DIR [--out=RESULTS.md] [--goldens=DIR]
+//   dfsim_run gate [--experiments=..] --goldens=DIR [--scale=tiny] ...
+//
+// `run` executes registered experiments through the parallel sweep engine
+// and emits schema-versioned JSON (+ long-format CSV) per experiment;
+// `check` evaluates the paper-parity trend gates and the tolerance-banded
+// golden comparison over emitted documents; `render` generates RESULTS.md;
+// `gate` is run+check in one process (the ctest parity target).
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "report/parity.hpp"
+#include "report/registry.hpp"
+#include "report/render.hpp"
+#include "sim/config_io.hpp"
+#include "traffic/trace.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace dfsim;
+using namespace dfsim::report;
+
+int usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+  std::cerr <<
+      "usage: dfsim_run <command> [flags]\n"
+      "  list    [--markdown]                      list registered experiments\n"
+      "  run     [--experiments=all|a,b] [--scale=tiny|small|medium|paper]\n"
+      "          [--out=DIR] [--csv] [--quiet] [--strip-rev]\n"
+      "          [--warmup=N --measure=N --reps=N --seed=N --threads=N]\n"
+      "          [--loads=0.1,0.2] [--routings=MIN,Base,..] [--with-ugal]\n"
+      "          [--traffic=NAME --injection=bernoulli|bursty --trace=F]\n"
+      "          [--adv-offset=N --shift-offset=N --hotspot-count=N\n"
+      "           --hotspot-fraction=F --mixed-uniform-fraction=F\n"
+      "           --burst-factor=F --burst-len=F]\n"
+      "          [--config=file.ini] [--set=key=v;key2=v2]\n"
+      "  check   --in=DIR [--goldens=DIR] [--rel-tol=R --abs-tol=A]\n"
+      "  render  --in=DIR [--out=RESULTS.md] [--goldens=DIR]\n"
+      "  gate    [--experiments=..] --goldens=DIR [run flags]\n";
+  return 2;
+}
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> items;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) items.push_back(item);
+  }
+  return items;
+}
+
+std::vector<const ExperimentSpec*> select_experiments(const CliOptions& cli) {
+  std::string names = cli.get("experiments", "all");
+  // Positional names work too: `dfsim_run run fig5a fig5b`.
+  if (!cli.has("experiments") && cli.positional().size() > 1) {
+    names.clear();
+    for (std::size_t i = 1; i < cli.positional().size(); ++i) {
+      if (!names.empty()) names += ',';
+      names += cli.positional()[i];
+    }
+  }
+  std::vector<const ExperimentSpec*> specs;
+  if (names == "all") {
+    for (const ExperimentSpec& spec : experiment_registry()) {
+      specs.push_back(&spec);
+    }
+    return specs;
+  }
+  for (const std::string& name : split_csv(names)) {
+    const ExperimentSpec* spec = find_experiment(name);
+    if (!spec) {
+      throw std::invalid_argument(
+          "unknown experiment '" + name + "' (see dfsim_run list)");
+    }
+    specs.push_back(spec);
+  }
+  if (specs.empty()) throw std::invalid_argument("no experiments selected");
+  return specs;
+}
+
+/// Per-scale measurement defaults; tiny's are also the golden settings the
+/// committed tests/goldens were produced with.
+void default_cycles(const std::string& scale, Cycle& warmup, Cycle& measure) {
+  if (scale == "tiny") {
+    warmup = 1000;
+    measure = 2000;
+  } else if (scale == "paper") {
+    warmup = 5000;
+    measure = 15000;
+  } else {
+    warmup = 2000;
+    measure = 3000;
+  }
+}
+
+RunContext make_context(const CliOptions& cli) {
+  RunContext ctx;
+  ctx.scale = cli.get("scale", CliOptions::env("DFSIM_SCALE", "medium"));
+  ctx.base = presets::by_name(ctx.scale);
+  if (cli.has("config")) ctx.base = load_params(cli.get("config"), ctx.base);
+  if (cli.has("set")) {
+    // `--set=routing.pb_ugal_threshold=5;topo.a=8` — ';'-separated
+    // key=value assignments through the config_io keyspace.
+    std::stringstream ss(cli.get("set"));
+    std::string assignment;
+    while (std::getline(ss, assignment, ';')) {
+      const std::size_t eq = assignment.find('=');
+      if (eq == std::string::npos) {
+        throw std::invalid_argument("--set expects key=value, got '" +
+                                    assignment + "'");
+      }
+      apply_param(ctx.base, assignment.substr(0, eq),
+                  assignment.substr(eq + 1));
+    }
+  }
+  default_cycles(ctx.scale, ctx.options.warmup, ctx.options.measure);
+  ctx.options.warmup = cli.get_int(
+      "warmup", CliOptions::env_int("DFSIM_WARMUP", ctx.options.warmup));
+  ctx.options.measure = cli.get_int(
+      "measure", CliOptions::env_int("DFSIM_MEASURE", ctx.options.measure));
+  if (cli.has("reps")) {
+    ctx.options.reps = static_cast<std::int32_t>(cli.get_int("reps", 1));
+    ctx.reps = ctx.options.reps;
+  }
+  ctx.base.seed = static_cast<std::uint64_t>(
+      cli.get_int("seed", static_cast<std::int64_t>(ctx.base.seed)));
+  ctx.threads = static_cast<int>(cli.get_int("threads", 0));
+
+  if (cli.has("loads")) {
+    std::vector<double> loads;
+    for (const std::string& item : split_csv(cli.get("loads"))) {
+      loads.push_back(std::stod(item));
+    }
+    if (!loads.empty()) ctx.loads = std::move(loads);
+  }
+  if (cli.has("routings")) {
+    std::vector<RoutingKind> lineup;
+    for (const std::string& item : split_csv(cli.get("routings"))) {
+      lineup.push_back(routing_kind_from_string(item));
+    }
+    if (!lineup.empty()) ctx.lineup = std::move(lineup);
+  }
+  // Appends to the default (or --routings) line-up, as the old benches did.
+  ctx.with_ugal = cli.has("with-ugal");
+
+  if (cli.has("traffic")) {
+    ctx.base.traffic.kind = traffic_kind_from_string(cli.get("traffic"));
+    ctx.traffic_forced = true;
+  }
+  if (cli.has("trace")) {
+    ctx.base.traffic.kind = TrafficKind::kTrace;
+    ctx.base.traffic.trace_path = cli.get("trace");
+    (void)validate_trace(ctx.base.traffic.trace_path);
+    ctx.traffic_forced = true;
+  }
+  if (cli.has("injection")) {
+    ctx.base.traffic.injection =
+        injection_process_from_string(cli.get("injection"));
+    ctx.injection_forced = true;
+  }
+  if (cli.has("adv-offset")) {
+    ctx.base.traffic.adv_offset = static_cast<std::int32_t>(
+        cli.get_int("adv-offset", ctx.base.traffic.adv_offset));
+    ctx.adv_offset_forced = true;
+  }
+  if (cli.has("shift-offset")) {
+    ctx.base.traffic.shift_offset = static_cast<std::int32_t>(
+        cli.get_int("shift-offset", ctx.base.traffic.shift_offset));
+    ctx.shift_offset_forced = true;
+  }
+  if (cli.has("hotspot-count")) {
+    ctx.base.traffic.hotspot_count = static_cast<std::int32_t>(
+        cli.get_int("hotspot-count", ctx.base.traffic.hotspot_count));
+    ctx.hotspot_count_forced = true;
+  }
+  if (cli.has("hotspot-fraction")) {
+    ctx.base.traffic.hotspot_fraction =
+        cli.get_double("hotspot-fraction", ctx.base.traffic.hotspot_fraction);
+    ctx.hotspot_fraction_forced = true;
+  }
+  ctx.base.traffic.mixed_uniform_fraction = cli.get_double(
+      "mixed-uniform-fraction", ctx.base.traffic.mixed_uniform_fraction);
+  ctx.base.traffic.burst_factor =
+      cli.get_double("burst-factor", ctx.base.traffic.burst_factor);
+  ctx.base.traffic.burst_len =
+      cli.get_double("burst-len", ctx.base.traffic.burst_len);
+  return ctx;
+}
+
+void write_file(const std::filesystem::path& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write " + path.string());
+  out << text;
+}
+
+ResultsDoc load_doc(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path.string());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return doc_from_json(Json::parse(buffer.str()));
+}
+
+/// Every registry experiment with a document in `dir`, in registry order.
+std::vector<ResultsDoc> load_docs(const std::filesystem::path& dir) {
+  std::vector<ResultsDoc> docs;
+  for (const ExperimentSpec& spec : experiment_registry()) {
+    const std::filesystem::path path = dir / (std::string(spec.name) + ".json");
+    if (std::filesystem::exists(path)) docs.push_back(load_doc(path));
+  }
+  if (docs.empty()) {
+    throw std::runtime_error("no results documents under " + dir.string());
+  }
+  return docs;
+}
+
+std::vector<GateOutcome> evaluate_gates(const std::vector<ResultsDoc>& docs,
+                                        const std::string& goldens_dir,
+                                        double rel_tol, double abs_tol) {
+  std::vector<GateOutcome> gates;
+  for (const ResultsDoc& doc : docs) {
+    for (GateOutcome& g : check_trend_gates(doc)) {
+      gates.push_back(std::move(g));
+    }
+    if (goldens_dir.empty()) continue;
+    const std::filesystem::path golden_path =
+        std::filesystem::path(goldens_dir) /
+        (doc.header.experiment + ".json");
+    if (!std::filesystem::exists(golden_path)) continue;
+    for (GateOutcome& g : check_against_golden(doc, load_doc(golden_path),
+                                               rel_tol, abs_tol)) {
+      gates.push_back(std::move(g));
+    }
+  }
+  return gates;
+}
+
+int print_gates(const std::vector<GateOutcome>& gates) {
+  ResultTable table({"experiment", "gate", "status", "detail"});
+  for (const GateOutcome& g : gates) {
+    table.begin_row();
+    table.set("experiment", g.experiment);
+    table.set("gate", g.gate);
+    table.set("status", to_string(g.status));
+    table.set("detail", g.detail);
+  }
+  std::cout << "== paper-parity gates ==\n";
+  table.write_pretty(std::cout);
+  if (!all_passed(gates)) {
+    std::cout << "\nPARITY GATES FAILED\n";
+    return 1;
+  }
+  std::cout << "\nall parity gates passed\n";
+  return 0;
+}
+
+std::vector<ResultsDoc> run_selected(const CliOptions& cli) {
+  const std::vector<const ExperimentSpec*> specs = select_experiments(cli);
+  const bool quiet = cli.has("quiet");
+  const bool strip_rev = cli.has("strip-rev");
+  const std::string git_rev = strip_rev ? std::string{} : current_git_rev();
+  const std::string out_dir = cli.get("out", "");
+  if (!out_dir.empty()) {
+    std::filesystem::create_directories(out_dir);
+  }
+  // One context for all experiments: --config/--trace are parsed and
+  // validated once; each spec.run copies it by value.
+  const RunContext ctx = make_context(cli);
+  std::vector<ResultsDoc> docs;
+  for (const ExperimentSpec* spec : specs) {
+    if (!quiet) {
+      std::cerr << "running " << spec->name << " ...\n";
+    }
+    ResultsDoc doc = run_experiment(*spec, ctx);
+    doc.header.git_rev = git_rev;
+    if (!out_dir.empty()) {
+      const std::filesystem::path base =
+          std::filesystem::path(out_dir) / spec->name;
+      write_file(base.string() + ".json", to_json(doc).dump());
+      std::ostringstream csv;
+      write_csv(doc, csv);
+      write_file(base.string() + ".csv", csv.str());
+    }
+    if (!quiet) print_doc(doc, cli.has("csv"), std::cout);
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+int cmd_list(const CliOptions& cli) {
+  if (cli.has("markdown")) {
+    std::cout << "| experiment | paper ref | topology | what it reproduces "
+                 "|\n|---|---|---|---|\n";
+    for (const ExperimentSpec& spec : experiment_registry()) {
+      std::cout << "| `" << spec.name << "` | " << spec.paper_ref << " | "
+                << spec.topology << " | " << spec.title << " |\n";
+    }
+    return 0;
+  }
+  ResultTable table({"experiment", "paper_ref", "topology", "title"});
+  for (const ExperimentSpec& spec : experiment_registry()) {
+    table.begin_row();
+    table.set("experiment", spec.name);
+    table.set("paper_ref", spec.paper_ref);
+    table.set("topology", spec.topology);
+    table.set("title", spec.title);
+  }
+  table.write_pretty(std::cout);
+  return 0;
+}
+
+int cmd_run(const CliOptions& cli) {
+  run_selected(cli);
+  return 0;
+}
+
+int cmd_check(const CliOptions& cli) {
+  if (!cli.has("in")) return usage("check needs --in=DIR");
+  const std::vector<ResultsDoc> docs = load_docs(cli.get("in"));
+  const std::vector<GateOutcome> gates =
+      evaluate_gates(docs, cli.get("goldens", ""),
+                     cli.get_double("rel-tol", 0.05),
+                     cli.get_double("abs-tol", 0.05));
+  return print_gates(gates);
+}
+
+int cmd_render(const CliOptions& cli) {
+  if (!cli.has("in")) return usage("render needs --in=DIR");
+  const std::vector<ResultsDoc> docs = load_docs(cli.get("in"));
+  const std::vector<GateOutcome> gates =
+      evaluate_gates(docs, cli.get("goldens", ""),
+                     cli.get_double("rel-tol", 0.05),
+                     cli.get_double("abs-tol", 0.05));
+  const std::string out = cli.get("out", "RESULTS.md");
+  write_file(out, render_markdown(docs, gates));
+  std::cout << "wrote " << out << " (" << docs.size() << " experiments, "
+            << gates.size() << " gates)\n";
+  return all_passed(gates) ? 0 : 1;
+}
+
+int cmd_gate(const CliOptions& cli) {
+  if (!cli.has("goldens")) return usage("gate needs --goldens=DIR");
+  const std::vector<ResultsDoc> docs = run_selected(cli);
+  const std::vector<GateOutcome> gates =
+      evaluate_gates(docs, cli.get("goldens"),
+                     cli.get_double("rel-tol", 0.05),
+                     cli.get_double("abs-tol", 0.05));
+  return print_gates(gates);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions cli(argc, argv);
+  if (cli.positional().empty()) return usage();
+  const std::string command = cli.positional().front();
+  try {
+    if (command == "list") return cmd_list(cli);
+    if (command == "run") return cmd_run(cli);
+    if (command == "check") return cmd_check(cli);
+    if (command == "render") return cmd_render(cli);
+    if (command == "gate") return cmd_gate(cli);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  return usage("unknown command '" + command + "'");
+}

@@ -14,14 +14,14 @@ void BM_AllocatorIteration(benchmark::State& state) {
   SeparableAllocator alloc(ports, ports, vcs);
   Rng rng(7);
 
-  std::vector<std::vector<AllocRequest>> requests(
-      static_cast<std::size_t>(ports));
+  AllocRequestBatch requests;
+  requests.reserve(ports, vcs);
   for (std::int32_t i = 0; i < ports; ++i) {
     for (VcIndex vc = 0; vc < vcs; ++vc) {
       if (rng.next_bool(0.6)) {
-        requests[static_cast<std::size_t>(i)].push_back(AllocRequest{
-            vc, static_cast<PortIndex>(rng.next_below(
-                    static_cast<std::uint64_t>(ports)))});
+        requests.add(static_cast<PortIndex>(i), vc,
+                     static_cast<PortIndex>(rng.next_below(
+                         static_cast<std::uint64_t>(ports))));
       }
     }
   }

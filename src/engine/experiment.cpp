@@ -5,6 +5,12 @@ namespace dfsim {
 SteadyResult run_steady(const SimParams& params, const SteadyOptions& options) {
   const std::int32_t reps = options.reps < 1 ? 1 : options.reps;
   SteadyResult acc;
+  // Tail quantiles are order statistics, not means: averaging per-rep p99s
+  // is NOT the p99 of the combined sample (a single congested rep's tail
+  // disappears into the average). The reps' histograms are merged and the
+  // quantiles read once from the pooled distribution; the remaining metrics
+  // are true means and keep the per-rep average.
+  LatencyHistogram pooled;
   for (std::int32_t rep = 0; rep < reps; ++rep) {
     SimParams p = params;
     p.seed = params.seed + static_cast<std::uint64_t>(rep) * 7919u;
@@ -14,10 +20,8 @@ SteadyResult run_steady(const SimParams& params, const SteadyOptions& options) {
     sim.run(options.measure);
 
     const Simulator::Metrics& m = sim.metrics();
+    pooled.merge(m.latency_hist);
     acc.latency_avg += m.mean_latency();
-    acc.latency_p50 += m.latency_hist.quantile(0.50);
-    acc.latency_p95 += m.latency_hist.quantile(0.95);
-    acc.latency_p99 += m.latency_hist.quantile(0.99);
     acc.throughput += sim.throughput();
     acc.misrouted_fraction += m.misrouted_fraction();
     acc.local_misrouted_fraction +=
@@ -29,20 +33,19 @@ SteadyResult run_steady(const SimParams& params, const SteadyOptions& options) {
     // metrics() was reset at begin_measurement, so `generated` covers the
     // measure window only; the accessor guards the zero-length-window case.
     acc.generated_load += sim.generated_load();
-    acc.latency_overflow += static_cast<double>(m.latency_hist.overflow());
   }
   const auto n = static_cast<double>(reps);
   acc.latency_avg /= n;
-  acc.latency_p50 /= n;
-  acc.latency_p95 /= n;
-  acc.latency_p99 /= n;
+  acc.latency_p50 = pooled.quantile(0.50);
+  acc.latency_p95 = pooled.quantile(0.95);
+  acc.latency_p99 = pooled.quantile(0.99);
   acc.throughput /= n;
   acc.misrouted_fraction /= n;
   acc.local_misrouted_fraction /= n;
   acc.minimal_path_fraction /= n;
   acc.backlog_per_node /= n;
   acc.generated_load /= n;
-  acc.latency_overflow /= n;
+  acc.latency_overflow = static_cast<double>(pooled.overflow()) / n;
   return acc;
 }
 

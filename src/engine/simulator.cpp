@@ -1,7 +1,9 @@
 #include "engine/simulator.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
+#include <functional>
 #include <stdexcept>
 
 #include "engine/head_wait.hpp"
@@ -114,7 +116,7 @@ void Simulator::build_layout() {
     }
   }
 
-  // Allocators and request scratch.
+  // Allocators and the shared sparse request batch.
   allocators_.reserve(static_cast<std::size_t>(routers));
   for (RouterId r = 0; r < routers; ++r) {
     allocators_.emplace_back(radix_, radix_, vmax_);
@@ -122,10 +124,14 @@ void Simulator::build_layout() {
       allocators_.back().set_through_priority(fwd_);
     }
   }
-  request_scratch_.resize(static_cast<std::size_t>(radix_));
-  for (auto& reqs : request_scratch_) {
-    reqs.reserve(static_cast<std::size_t>(vmax_));
-  }
+  request_batch_.reserve(radix_, vmax_);
+
+  // Active-set masks: all queues empty at construction.
+  queue_words_per_router_ = (radix_ * vmax_ + 63) / 64;
+  queue_active_.assign(static_cast<std::size_t>(routers) *
+                           static_cast<std::size_t>(queue_words_per_router_),
+                       0);
+  router_active_.assign(static_cast<std::size_t>((routers + 63) / 64), 0);
 
   // Per-link in-flight rings: sends on a link are spaced >= psize cycles
   // apart and stay on it for link_delay cycles, so delay/psize + 2 slots is
@@ -146,6 +152,12 @@ void Simulator::build_layout() {
   }
   ring_slab_.assign(static_cast<std::size_t>(ring_total), LinkEvent{});
 
+  // Due-link heap: at most one entry per link, so this reserve is a hard
+  // structural bound and the heap never allocates after construction.
+  assert(n_out < (std::size_t{1} << kLinkBits));
+  link_heap_.clear();
+  link_heap_.reserve(n_out);
+
   // Preallocate the packet pool to its structural upper bound: every packet
   // is either in some queue slot or on some link ring.
   pool_.reserve(slab_.size() + static_cast<std::size_t>(ring_total));
@@ -154,13 +166,44 @@ void Simulator::build_layout() {
 // ---------------------------------------------------------------------------
 // Queue primitives
 
+void Simulator::activate_queue(std::int32_t q) {
+  const RouterId r = q / (radix_ * vmax_);
+  const std::int32_t bit = q - r * radix_ * vmax_;
+  queue_active_[static_cast<std::size_t>(r) *
+                    static_cast<std::size_t>(queue_words_per_router_) +
+                static_cast<std::size_t>(bit >> 6)] |=
+      std::uint64_t{1} << (bit & 63);
+  router_active_[static_cast<std::size_t>(r >> 6)] |= std::uint64_t{1}
+                                                      << (r & 63);
+}
+
+void Simulator::deactivate_queue(std::int32_t q) {
+  const RouterId r = q / (radix_ * vmax_);
+  const std::int32_t bit = q - r * radix_ * vmax_;
+  const std::size_t base = static_cast<std::size_t>(r) *
+                           static_cast<std::size_t>(queue_words_per_router_);
+  queue_active_[base + static_cast<std::size_t>(bit >> 6)] &=
+      ~(std::uint64_t{1} << (bit & 63));
+  std::uint64_t any = 0;
+  for (std::int32_t w = 0; w < queue_words_per_router_; ++w) {
+    any |= queue_active_[base + static_cast<std::size_t>(w)];
+  }
+  if (any == 0) {
+    router_active_[static_cast<std::size_t>(r >> 6)] &=
+        ~(std::uint64_t{1} << (r & 63));
+  }
+}
+
 void Simulator::push_queue(std::int32_t q, std::int32_t packet) {
   const auto qi = static_cast<std::size_t>(q);
   assert(q_size_[qi] < q_cap_[qi]);
   const std::int32_t slot =
       q_offset_[qi] + (q_head_[qi] + q_size_[qi]) % q_cap_[qi];
   slab_[static_cast<std::size_t>(slot)] = packet;
-  if (++q_size_[qi] == 1) on_new_head(q);
+  if (++q_size_[qi] == 1) {
+    activate_queue(q);
+    on_new_head(q);
+  }
 }
 
 std::int32_t Simulator::pop_queue(std::int32_t q) {
@@ -171,7 +214,11 @@ std::int32_t Simulator::pop_queue(std::int32_t q) {
   q_head_[qi] = (q_head_[qi] + 1) % q_cap_[qi];
   --q_size_[qi];
   ++q_free_[qi];
-  if (q_size_[qi] > 0) on_new_head(q);
+  if (q_size_[qi] > 0) {
+    on_new_head(q);
+  } else {
+    deactivate_queue(q);
+  }
   return packet;
 }
 
@@ -491,20 +538,45 @@ void Simulator::maybe_local_detour(RouterId r, std::int32_t q) {
 // ---------------------------------------------------------------------------
 // Per-cycle phases
 
+void Simulator::link_heap_push(std::uint64_t key) {
+  link_heap_.push_back(key);
+  std::push_heap(link_heap_.begin(), link_heap_.end(),
+                 std::greater<std::uint64_t>{});
+}
+
+std::uint64_t Simulator::link_heap_pop() {
+  std::pop_heap(link_heap_.begin(), link_heap_.end(),
+                std::greater<std::uint64_t>{});
+  const std::uint64_t key = link_heap_.back();
+  link_heap_.pop_back();
+  return key;
+}
+
 void Simulator::deliver_arrivals() {
   // Per-link FIFO rings: arrivals on a link are strictly increasing and
-  // spaced >= psize cycles, so only the front entry can be due.
-  const std::size_t n_out = ring_cap_.size();
-  for (std::size_t l = 0; l < n_out; ++l) {
-    if (ring_count_[l] == 0) continue;
-    const LinkEvent& ev =
+  // spaced >= psize cycles, so only the front entry can be due and each
+  // ring contributes one heap key. Idle links cost nothing; same-cycle
+  // arrivals pop in ascending link order (the key's low bits), matching
+  // the pre-active-set full scan bit-exactly.
+  while (!link_heap_.empty()) {
+    const std::uint64_t top = link_heap_.front();
+    if (static_cast<Cycle>(top >> kLinkBits) != now_) {
+      assert(static_cast<Cycle>(top >> kLinkBits) > now_);
+      break;
+    }
+    const auto l = static_cast<std::size_t>(
+        top & ((std::uint64_t{1} << kLinkBits) - 1));
+    (void)link_heap_pop();
+    const LinkEvent ev =
         ring_slab_[static_cast<std::size_t>(ring_offset_[l] + ring_head_[l])];
-    if (ev.arrival != now_) continue;
-    const std::int32_t packet = ev.packet;
-    const std::int32_t down = ev.down_queue;
+    assert(ev.arrival == now_);
     ring_head_[l] = (ring_head_[l] + 1) % ring_cap_[l];
-    --ring_count_[l];
-    push_queue(down, packet);
+    if (--ring_count_[l] > 0) {
+      const LinkEvent& next = ring_slab_[static_cast<std::size_t>(
+          ring_offset_[l] + ring_head_[l])];
+      link_heap_push(link_key(next.arrival, static_cast<std::int32_t>(l)));
+    }
+    push_queue(ev.down_queue, ev.packet);
   }
 }
 
@@ -540,52 +612,70 @@ void Simulator::inject_traffic() {
 }
 
 void Simulator::route_and_allocate() {
-  const std::int32_t routers = topo_.routers();
-  for (RouterId r = 0; r < routers; ++r) {
-    bool any_request = false;
-    for (PortIndex ip = 0; ip < radix_; ++ip) {
-      auto& reqs = request_scratch_[static_cast<std::size_t>(ip)];
-      reqs.clear();
-      for (VcIndex vc = 0; vc < vmax_; ++vc) {
-        const std::int32_t q = queue_index(r, ip, vc);
-        const auto qi = static_cast<std::size_t>(q);
-        if (q_size_[qi] == 0) continue;
+  // Active-set walk: routers with any occupied queue, then that router's
+  // occupied queues in ascending (port, vc) bit order — exactly the dense
+  // triple loop's visit order over non-empty queues, so head-wait
+  // re-evaluation (and its RNG draws) happen in the original sequence.
+  // Grants mutate only the router being processed (depart pops its own
+  // input queues; departures land on link rings, not queues), so iterating
+  // over word copies is safe.
+  const std::int32_t qwpr = queue_words_per_router_;
+  for (std::size_t rw = 0; rw < router_active_.size(); ++rw) {
+    std::uint64_t rbits = router_active_[rw];
+    while (rbits != 0) {
+      const int rbit = std::countr_zero(rbits);
+      rbits &= rbits - 1;
+      const auto r = static_cast<RouterId>(rw * 64 + rbit);
+      const std::size_t qbase =
+          static_cast<std::size_t>(r) * static_cast<std::size_t>(qwpr);
+      const std::int32_t q0 = r * radix_ * vmax_;
+      request_batch_.clear();
+      for (std::int32_t w = 0; w < qwpr; ++w) {
+        std::uint64_t qbits = queue_active_[qbase + static_cast<std::size_t>(w)];
+        while (qbits != 0) {
+          const int qbit = std::countr_zero(qbits);
+          qbits &= qbits - 1;
+          const std::int32_t local = w * 64 + qbit;
+          const std::int32_t q = q0 + local;
+          const auto qi = static_cast<std::size_t>(q);
+          assert(q_size_[qi] > 0);
 
-        if (head_wait_due(q_wait_[qi])) {
-          // The head has been blocked for a while: re-evaluate in-transit
-          // global misrouting and consider an opportunistic local detour.
-          const std::int32_t packet = slab_[static_cast<std::size_t>(
-              q_offset_[qi] + q_head_[qi])];
-          maybe_transit_misroute(r, q, packet);
-          maybe_local_detour(r, q);
-        }
-        q_wait_[qi] = advance_head_wait(q_wait_[qi]);
-
-        const PortIndex out = q_request_[qi];
-        const std::size_t flat = static_cast<std::size_t>(flat_port(r, out));
-        if (out_busy_until_[flat] > now_) continue;
-        if (out < fwd_) {
-          const std::int32_t packet = slab_[static_cast<std::size_t>(
-              q_offset_[qi] + q_head_[qi])];
-          const VcIndex vcn = vc_for(r, out, packet);
-          if (q_free_[static_cast<std::size_t>(down_queue_base_[flat] +
-                                               vcn)] <= 0) {
-            continue;
+          if (head_wait_due(q_wait_[qi])) {
+            // The head has been blocked for a while: re-evaluate in-transit
+            // global misrouting and consider an opportunistic local detour.
+            const std::int32_t packet = slab_[static_cast<std::size_t>(
+                q_offset_[qi] + q_head_[qi])];
+            maybe_transit_misroute(r, q, packet);
+            maybe_local_detour(r, q);
           }
-        }
-        reqs.push_back(AllocRequest{vc, out});
-        any_request = true;
-      }
-    }
-    if (!any_request) continue;
+          q_wait_[qi] = advance_head_wait(q_wait_[qi]);
 
-    SeparableAllocator& alloc = allocators_[static_cast<std::size_t>(r)];
-    alloc.begin_cycle();
-    for (std::int32_t it = 0; it < params_.router.speedup; ++it) {
-      if (alloc.iterate(request_scratch_).empty() && it > 0) break;
-    }
-    for (const AllocGrant& grant : alloc.cycle_grants()) {
-      depart(r, grant);
+          const PortIndex out = q_request_[qi];
+          const std::size_t flat = static_cast<std::size_t>(flat_port(r, out));
+          if (out_busy_until_[flat] > now_) continue;
+          if (out < fwd_) {
+            const std::int32_t packet = slab_[static_cast<std::size_t>(
+                q_offset_[qi] + q_head_[qi])];
+            const VcIndex vcn = vc_for(r, out, packet);
+            if (q_free_[static_cast<std::size_t>(down_queue_base_[flat] +
+                                                 vcn)] <= 0) {
+              continue;
+            }
+          }
+          request_batch_.add(static_cast<PortIndex>(local / vmax_),
+                             static_cast<VcIndex>(local % vmax_), out);
+        }
+      }
+      if (request_batch_.empty()) continue;
+
+      SeparableAllocator& alloc = allocators_[static_cast<std::size_t>(r)];
+      alloc.begin_cycle();
+      for (std::int32_t it = 0; it < params_.router.speedup; ++it) {
+        if (alloc.iterate(request_batch_).empty() && it > 0) break;
+      }
+      for (const AllocGrant& grant : alloc.cycle_grants()) {
+        depart(r, grant);
+      }
     }
   }
 }
@@ -622,12 +712,16 @@ void Simulator::depart(RouterId r, const AllocGrant& grant) {
   }
 
   assert(ring_count_[flat] < ring_cap_[flat]);
+  const Cycle arrival = now_ + link_delay_[flat];
   const std::int32_t slot =
       ring_offset_[flat] + (ring_head_[flat] + ring_count_[flat]) %
                                ring_cap_[flat];
-  ring_slab_[static_cast<std::size_t>(slot)] =
-      LinkEvent{now_ + link_delay_[flat], packet, down};
-  ++ring_count_[flat];
+  ring_slab_[static_cast<std::size_t>(slot)] = LinkEvent{arrival, packet, down};
+  // A ring going non-empty registers its (only possible due) front entry in
+  // the due-link heap; rings already in flight keep their existing key.
+  if (ring_count_[flat]++ == 0) {
+    link_heap_push(link_key(arrival, static_cast<std::int32_t>(flat)));
+  }
 }
 
 void Simulator::deliver(RouterId r, std::int32_t packet) {
@@ -754,6 +848,66 @@ void Simulator::enable_ectn_monitor(std::int32_t async_mult,
 
 std::int64_t Simulator::allocation_events() const {
   return pool_.grow_events + log_growth_ + traffic_.record_growth_events();
+}
+
+bool Simulator::debug_check_active_state() const {
+  const std::int32_t routers = topo_.routers();
+  const std::int32_t qwpr = queue_words_per_router_;
+
+  // (1) Queue-occupancy bits mirror q_size exactly; the router summary bit
+  // mirrors the OR of its queue words.
+  std::int64_t queued_packets = 0;
+  for (RouterId r = 0; r < routers; ++r) {
+    const std::size_t qbase =
+        static_cast<std::size_t>(r) * static_cast<std::size_t>(qwpr);
+    std::uint64_t any = 0;
+    for (PortIndex ip = 0; ip < radix_; ++ip) {
+      for (VcIndex vc = 0; vc < vmax_; ++vc) {
+        const std::int32_t bit = ip * vmax_ + vc;
+        const bool set =
+            (queue_active_[qbase + static_cast<std::size_t>(bit >> 6)] >>
+             (bit & 63)) & 1;
+        const std::int32_t size =
+            q_size_[static_cast<std::size_t>(queue_index(r, ip, vc))];
+        if (set != (size > 0)) return false;
+        queued_packets += size;
+      }
+    }
+    for (std::int32_t w = 0; w < qwpr; ++w) {
+      any |= queue_active_[qbase + static_cast<std::size_t>(w)];
+    }
+    const bool rset =
+        (router_active_[static_cast<std::size_t>(r >> 6)] >> (r & 63)) & 1;
+    if (rset != (any != 0)) return false;
+  }
+
+  // (2) The due-link heap holds exactly one entry per non-empty ring, keyed
+  // by that ring's front arrival, and every key is still in the future or
+  // due this cycle.
+  std::vector<std::uint64_t> keys(link_heap_);
+  std::sort(keys.begin(), keys.end());
+  std::size_t nonempty = 0;
+  std::int64_t inflight_packets = 0;
+  for (std::size_t l = 0; l < ring_cap_.size(); ++l) {
+    inflight_packets += ring_count_[l];
+    if (ring_count_[l] == 0) continue;
+    ++nonempty;
+    const LinkEvent& front =
+        ring_slab_[static_cast<std::size_t>(ring_offset_[l] + ring_head_[l])];
+    if (front.arrival < now_) return false;
+    const std::uint64_t key =
+        link_key(front.arrival, static_cast<std::int32_t>(l));
+    if (!std::binary_search(keys.begin(), keys.end(), key)) return false;
+  }
+  if (nonempty != link_heap_.size()) return false;
+  if (!std::is_heap(link_heap_.begin(), link_heap_.end(),
+                    std::greater<std::uint64_t>{})) {
+    return false;
+  }
+
+  // (3) Pool accounting: every live packet sits in a queue or on a link.
+  return pool_.in_use() ==
+         static_cast<std::size_t>(queued_packets + inflight_packets);
 }
 
 }  // namespace dfsim

@@ -27,6 +27,21 @@
 // come from a pooled free list, queues and scratch are preallocated, and the
 // event calendar reuses its buckets. `allocation_events()` exposes every
 // growth event so tests can verify this.
+//
+// Active-set stepping: the per-cycle phases iterate only non-empty state.
+// Occupied queues are tracked as per-router bitmask words plus a router
+// summary mask (set in push_queue, cleared when a queue drains), so
+// route_and_allocate costs O(active queues) instead of
+// O(routers * radix * vcs); links with packets in flight live in a binary
+// min-heap keyed by (front arrival, link id), so deliver_arrivals costs
+// O(due links * log links) instead of a full link scan. Both structures are
+// exact mirrors of the dense state (debug_check_active_state() cross-checks
+// them against a brute-force scan) and preserve the dense scan's iteration
+// order — bit scans walk queues in ascending (port, vc) order and the heap
+// pops same-cycle arrivals in ascending link order — which keeps every RNG
+// draw site in the original sequence. Refactors of this file must keep the
+// 18 goldens in tests/test_engine_equivalence.cpp bit-exact (see
+// ARCHITECTURE.md, "Bit-exactness rule").
 #pragma once
 
 #include <cstdint>
@@ -148,12 +163,25 @@ class Simulator {
     return pool_.grow_events;
   }
 
+  /// Debug cross-check of the active-set structures against a brute-force
+  /// scan of the dense state: every queue-occupancy bit matches q_size, the
+  /// router summary mask matches the queue bits, the due-link heap holds
+  /// exactly one well-formed entry per non-empty link ring, and the packet
+  /// pool population equals the packets sitting in queues plus rings.
+  /// O(routers * radix * vcs) and may allocate — tests only, not hot path.
+  [[nodiscard]] bool debug_check_active_state() const;
+
  private:
   struct LinkEvent {
     Cycle arrival = 0;
     std::int32_t packet = kInvalidPacket;
     std::int32_t down_queue = -1;
   };
+
+  /// Link-id field width in the due-link heap key; the remaining 40 high
+  /// bits carry the arrival cycle (bounds: < 2^24 links, < 2^40 cycles —
+  /// both orders of magnitude past paper scale and any practical run).
+  static constexpr int kLinkBits = 24;
 
   // --- construction helpers
   void build_layout();
@@ -172,6 +200,17 @@ class Simulator {
   void push_queue(std::int32_t q, std::int32_t packet);
   std::int32_t pop_queue(std::int32_t q);
   void on_new_head(std::int32_t q);
+
+  // --- active-set maintenance (queue occupancy bits + due-link heap)
+  void activate_queue(std::int32_t q);
+  void deactivate_queue(std::int32_t q);
+  [[nodiscard]] static std::uint64_t link_key(Cycle arrival,
+                                              std::int32_t link) {
+    return (static_cast<std::uint64_t>(arrival) << kLinkBits) |
+           static_cast<std::uint64_t>(link);
+  }
+  void link_heap_push(std::uint64_t key);
+  std::uint64_t link_heap_pop();
 
   // --- routing
   void decide_injection(RouterId r, std::int32_t packet);
@@ -250,7 +289,14 @@ class Simulator {
   // --- routers
   ContentionCounters counters_;  // flat over routers * radix output ports
   std::vector<SeparableAllocator> allocators_;
-  std::vector<std::vector<AllocRequest>> request_scratch_;
+  AllocRequestBatch request_batch_;  // per-router sparse requests (reused)
+
+  // --- active sets: queue-occupancy bits (bit ip*vmax+vc of router r's
+  // word block; ascending-bit iteration == the dense scan order) and the
+  // router summary mask. Maintained by push_queue/pop_queue only.
+  std::int32_t queue_words_per_router_ = 0;
+  std::vector<std::uint64_t> queue_active_;   // routers * words_per_router
+  std::vector<std::uint64_t> router_active_;  // ceil(routers / 64)
 
   // --- packets & per-link in-flight rings (fixed capacity: a link carries
   // at most delay/packet_size + 2 packets at once)
@@ -260,6 +306,11 @@ class Simulator {
   std::vector<std::int32_t> ring_cap_;
   std::vector<std::int32_t> ring_head_;
   std::vector<std::int32_t> ring_count_;
+  // Due-link min-heap: one (front arrival, link) key per non-empty ring.
+  // Capacity is structural (<= one entry per link), so no growth after
+  // construction; ties on arrival pop in ascending link order, matching
+  // the old full scan's iteration order exactly.
+  std::vector<std::uint64_t> link_heap_;
 
   // --- mechanisms
   ContentionThresholdTrigger base_trigger_;

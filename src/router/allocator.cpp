@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <numeric>
 
 namespace dfsim {
 
@@ -9,13 +10,29 @@ SeparableAllocator::SeparableAllocator(std::int32_t in_ports,
                                        std::int32_t out_ports,
                                        std::int32_t vcs)
     : in_ports_(in_ports), out_ports_(out_ports), vcs_(vcs) {
+  // Wrap bound for the input round-robin counters: any multiple of
+  // lcm(1..vcs) keeps `counter % n` bit-identical to an unbounded counter
+  // for all request counts n <= vcs; the lcm itself is the tightest bound.
+  // For absurd vcs (>= 23) the lcm leaves the int range — fall back to no
+  // wrap (0): the counters are int64, which cannot practically overflow,
+  // so correctness is preserved either way.
+  std::int64_t l = 1;
+  for (std::int32_t v = 2; v <= vcs_; ++v) {
+    l = std::lcm(l, std::int64_t{v});
+    if (l > (std::int64_t{1} << 30)) {
+      l = 0;
+      break;
+    }
+  }
+  in_rr_wrap_ = l;
+
   in_rr_.assign(static_cast<std::size_t>(in_ports_), 0);
   out_rr_.assign(static_cast<std::size_t>(out_ports_), 0);
   in_busy_.assign(static_cast<std::size_t>(in_ports_), 0);
   out_busy_.assign(static_cast<std::size_t>(out_ports_), 0);
-  in_winner_.assign(static_cast<std::size_t>(in_ports_), AllocRequest{});
-  in_has_winner_.assign(static_cast<std::size_t>(in_ports_), 0);
   out_has_candidate_.assign(static_cast<std::size_t>(out_ports_), 0);
+  winners_.reserve(static_cast<std::size_t>(in_ports_));
+  cand_outs_.reserve(static_cast<std::size_t>(out_ports_));
   iter_grants_.reserve(static_cast<std::size_t>(
       std::min(in_ports_, out_ports_)));
   cycle_grants_.reserve(static_cast<std::size_t>(
@@ -29,70 +46,83 @@ void SeparableAllocator::begin_cycle() {
 }
 
 std::span<const AllocGrant> SeparableAllocator::iterate(
-    const std::vector<std::vector<AllocRequest>>& requests) {
-  assert(static_cast<std::int32_t>(requests.size()) == in_ports_);
+    const AllocRequestBatch& batch) {
   iter_grants_.clear();
 
-  // Stage 1: each free input port picks one requesting VC, round-robin from
-  // its pointer.
-  std::fill(out_has_candidate_.begin(), out_has_candidate_.end(),
-            std::int8_t{0});
-  std::int32_t winners = 0;
-  for (std::int32_t in = 0; in < in_ports_; ++in) {
-    in_has_winner_[static_cast<std::size_t>(in)] = 0;
-    if (in_busy_[static_cast<std::size_t>(in)]) continue;
-    const auto& reqs = requests[static_cast<std::size_t>(in)];
-    const auto n = static_cast<std::int32_t>(reqs.size());
-    if (n == 0) continue;
-    const std::int32_t start = in_rr_[static_cast<std::size_t>(in)] % n;
+  // Stage 1: each free requesting input picks one VC, round-robin from its
+  // pointer. Only inputs present in the batch are visited (they arrive in
+  // ascending port order), so an idle router costs nothing here.
+  const std::vector<AllocRequest>& reqs = batch.reqs();
+  for (const AllocRequestBatch::Group& group : batch.groups()) {
+    const auto ini = static_cast<std::size_t>(group.in);
+    if (in_busy_[ini]) continue;
+    const std::int32_t n = group.count;
+    assert(n <= vcs_);  // the wrap-bound equivalence needs n <= vcs
+    const auto start = static_cast<std::int32_t>(in_rr_[ini] % n);
     for (std::int32_t k = 0; k < n; ++k) {
-      const auto& req = reqs[static_cast<std::size_t>((start + k) % n)];
-      if (!out_busy_[static_cast<std::size_t>(req.out)]) {
-        in_winner_[static_cast<std::size_t>(in)] = req;
-        in_has_winner_[static_cast<std::size_t>(in)] = 1;
+      const AllocRequest& req =
+          reqs[static_cast<std::size_t>(group.begin + (start + k) % n)];
+      if (out_busy_[static_cast<std::size_t>(req.out)]) continue;
+      winners_.push_back(AllocGrant{group.in, req.vc, req.out});
+      if (!out_has_candidate_[static_cast<std::size_t>(req.out)]) {
         out_has_candidate_[static_cast<std::size_t>(req.out)] = 1;
-        ++winners;
-        break;
+        cand_outs_.push_back(req.out);
       }
+      break;
     }
   }
 
-  // Stage 2: each free output port picks one input winner, round-robin from
-  // its pointer. Outputs nobody picked in stage 1 are skipped outright.
-  // With through-priority enabled, a first round-robin pass considers only
-  // through inputs; injection inputs win in a second pass when no through
-  // input wanted the output.
-  if (winners == 0) return {iter_grants_.data(), iter_grants_.size()};
-  const std::int32_t passes = first_injection_port_ >= 0 ? 2 : 1;
-  for (std::int32_t out = 0; out < out_ports_; ++out) {
-    if (out_busy_[static_cast<std::size_t>(out)]) continue;
-    if (!out_has_candidate_[static_cast<std::size_t>(out)]) continue;
-    const std::int32_t start = out_rr_[static_cast<std::size_t>(out)];
-    for (std::int32_t pass = 0; pass < passes; ++pass) {
-      bool granted = false;
-      for (std::int32_t k = 0; k < in_ports_; ++k) {
-        const std::int32_t in = (start + k) % in_ports_;
-        if (passes == 2) {
-          const bool is_injection = in >= first_injection_port_;
-          if (is_injection != (pass == 1)) continue;
+  // Stage 2: each contested output picks one stage-1 winner. The winner is
+  // the input with the smallest circular round-robin distance from the
+  // output's pointer — equivalent to the dense scan from out_rr_[out], in
+  // O(winners) instead of O(in_ports). Outputs are processed in ascending
+  // index order (grant order is observable downstream: the engine pops
+  // queues in grant order and RNG draws hang off the new heads).
+  // With through-priority enabled, through inputs rank before injection
+  // inputs regardless of distance (the old two-pass scan).
+  if (!winners_.empty()) {
+    std::sort(cand_outs_.begin(), cand_outs_.end());
+    for (const PortIndex out : cand_outs_) {
+      const auto outi = static_cast<std::size_t>(out);
+      if (out_busy_[outi]) continue;
+      const std::int32_t start = out_rr_[outi];
+      std::int32_t best = -1;
+      std::int32_t best_key = 0;
+      for (std::size_t w = 0; w < winners_.size(); ++w) {
+        const AllocGrant& cand = winners_[w];
+        if (cand.out != out) continue;
+        if (in_busy_[static_cast<std::size_t>(cand.in)]) continue;
+        const std::int32_t dist =
+            (cand.in - start + in_ports_) % in_ports_;
+        const std::int32_t cls =
+            (first_injection_port_ >= 0 && cand.in >= first_injection_port_)
+                ? 1
+                : 0;
+        const std::int32_t key = cls * in_ports_ + dist;
+        if (best < 0 || key < best_key) {
+          best = static_cast<std::int32_t>(w);
+          best_key = key;
         }
-        if (!in_has_winner_[static_cast<std::size_t>(in)]) continue;
-        const AllocRequest& req = in_winner_[static_cast<std::size_t>(in)];
-        if (req.out != out) continue;
-        iter_grants_.push_back(AllocGrant{in, req.vc, out});
-        in_busy_[static_cast<std::size_t>(in)] = 1;
-        out_busy_[static_cast<std::size_t>(out)] = 1;
-        in_has_winner_[static_cast<std::size_t>(in)] = 0;
-        // Advance round-robin pointers past the winners.
-        out_rr_[static_cast<std::size_t>(out)] = (in + 1) % in_ports_;
-        in_rr_[static_cast<std::size_t>(in)] =
-            in_rr_[static_cast<std::size_t>(in)] + 1;
-        granted = true;
-        break;
       }
-      if (granted) break;
+      if (best < 0) continue;
+      const AllocGrant& grant = winners_[static_cast<std::size_t>(best)];
+      iter_grants_.push_back(grant);
+      in_busy_[static_cast<std::size_t>(grant.in)] = 1;
+      out_busy_[outi] = 1;
+      // Advance round-robin pointers past the winners. out_rr_ is bounded
+      // by its modulus here; in_rr_ wraps at lcm(1..vcs) (see in_rr_wrap).
+      out_rr_[outi] = (grant.in + 1) % in_ports_;
+      std::int64_t& rr = in_rr_[static_cast<std::size_t>(grant.in)];
+      rr = (in_rr_wrap_ != 0 && rr + 1 == in_rr_wrap_) ? 0 : rr + 1;
     }
   }
+
+  // Sparse-clear the per-iteration scratch.
+  for (const PortIndex out : cand_outs_) {
+    out_has_candidate_[static_cast<std::size_t>(out)] = 0;
+  }
+  cand_outs_.clear();
+  winners_.clear();
 
   cycle_grants_.insert(cycle_grants_.end(), iter_grants_.begin(),
                        iter_grants_.end());
@@ -100,9 +130,9 @@ std::span<const AllocGrant> SeparableAllocator::iterate(
 }
 
 std::span<const AllocGrant> SeparableAllocator::allocate_iteration(
-    const std::vector<std::vector<AllocRequest>>& requests) {
+    const AllocRequestBatch& batch) {
   begin_cycle();
-  iterate(requests);
+  iterate(batch);
   return {cycle_grants_.data(), cycle_grants_.size()};
 }
 

@@ -1,15 +1,20 @@
-// Separable input-first switch allocator.
+// Separable input-first switch allocator over sparse request batches.
 //
-// One iteration runs two round-robin stages in O(ports * vcs) with zero heap
-// allocation per call:
-//   stage 1 (input arbitration):  each input port picks one requesting VC
-//   stage 2 (output arbitration): each output port picks one input winner
+// One iteration runs two round-robin stages in O(requests) — not
+// O(ports * vcs) — with zero heap allocation per call:
+//   stage 1 (input arbitration):  each requesting input picks one VC
+//   stage 2 (output arbitration): each contested output picks one input
+// Requests arrive as an AllocRequestBatch: a flat list appended in
+// ascending (input port, vc) order, so consecutive same-port entries form
+// that input's candidate list and the engine's active-set scan can feed the
+// allocator without materializing a dense per-port vector-of-vectors.
 // Round-robin pointers advance past grant winners, which gives the usual
 // separable-allocator fairness. Grants land in a preallocated buffer and are
-// returned as a span — the simulator calls this for every router every cycle,
-// so the no-allocation property is load-bearing (and unit-tested).
+// returned as a span — the simulator calls this for every active router
+// every cycle, so the no-allocation property is load-bearing (unit-tested).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -27,6 +32,45 @@ struct AllocGrant {
   PortIndex in = 0;
   VcIndex vc = 0;
   PortIndex out = 0;
+};
+
+/// Sparse request submission: append requests in ascending (input port, vc)
+/// order; runs of the same input port form that port's candidate list. The
+/// batch is reusable scratch — reserve() once, clear() + add() per cycle.
+class AllocRequestBatch {
+ public:
+  struct Group {
+    PortIndex in = 0;
+    std::int32_t begin = 0;  // index into reqs()
+    std::int32_t count = 0;
+  };
+
+  void reserve(std::int32_t in_ports, std::int32_t vcs) {
+    groups_.reserve(static_cast<std::size_t>(in_ports));
+    reqs_.reserve(static_cast<std::size_t>(in_ports) *
+                  static_cast<std::size_t>(vcs));
+  }
+  void clear() {
+    groups_.clear();
+    reqs_.clear();
+  }
+  void add(PortIndex in, VcIndex vc, PortIndex out) {
+    if (groups_.empty() || groups_.back().in != in) {
+      assert(groups_.empty() || groups_.back().in < in);  // ascending order
+      groups_.push_back(
+          Group{in, static_cast<std::int32_t>(reqs_.size()), 0});
+    }
+    reqs_.push_back(AllocRequest{vc, out});
+    ++groups_.back().count;
+  }
+
+  [[nodiscard]] bool empty() const { return reqs_.empty(); }
+  [[nodiscard]] const std::vector<Group>& groups() const { return groups_; }
+  [[nodiscard]] const std::vector<AllocRequest>& reqs() const { return reqs_; }
+
+ private:
+  std::vector<Group> groups_;
+  std::vector<AllocRequest> reqs_;
 };
 
 class SeparableAllocator {
@@ -47,19 +91,17 @@ class SeparableAllocator {
     first_injection_port_ = first_injection_port;
   }
 
-  /// Runs one separable iteration over `requests` (indexed by input port;
-  /// each inner vector lists that port's requesting VCs). The returned span
-  /// aliases an internal buffer valid until the next call.
+  /// Runs one separable iteration over `batch`. The returned span aliases an
+  /// internal buffer valid until the next call.
   [[nodiscard]] std::span<const AllocGrant> allocate_iteration(
-      const std::vector<std::vector<AllocRequest>>& requests);
+      const AllocRequestBatch& batch);
 
   /// Incremental variant for multi-iteration (speedup > 1) allocation:
   /// inputs/outputs granted in earlier iterations of the same cycle are
   /// skipped. Call `begin_cycle()` first, then `iterate` up to `speedup`
   /// times; grants accumulate in `cycle_grants()`.
   void begin_cycle();
-  std::span<const AllocGrant> iterate(
-      const std::vector<std::vector<AllocRequest>>& requests);
+  std::span<const AllocGrant> iterate(const AllocRequestBatch& batch);
   [[nodiscard]] std::span<const AllocGrant> cycle_grants() const {
     return {cycle_grants_.data(), cycle_grants_.size()};
   }
@@ -68,21 +110,40 @@ class SeparableAllocator {
   [[nodiscard]] std::int32_t out_ports() const { return out_ports_; }
   [[nodiscard]] std::int32_t vcs() const { return vcs_; }
 
+  /// Bound the per-input round-robin counters wrap at: the least common
+  /// multiple of 1..vcs, so `in_rr_[in] % n` is identical to an unbounded
+  /// counter for every possible per-input request count n <= vcs — the
+  /// wrap is observationally invisible (bit-exact goldens) while killing
+  /// the overflow an unbounded narrow counter hits after ~2^31 grants on
+  /// paper-scale runs (signed overflow is UB). 0 when the lcm would leave
+  /// the integer range (vcs >= 23): the counters then run free on int64,
+  /// which cannot practically overflow.
+  [[nodiscard]] std::int64_t in_rr_wrap() const { return in_rr_wrap_; }
+  /// Test hook: current RR pointer of input `in` (bounded by in_rr_wrap).
+  [[nodiscard]] std::int64_t debug_in_rr(std::int32_t in) const {
+    return in_rr_[static_cast<std::size_t>(in)];
+  }
+
  private:
   std::int32_t in_ports_;
   std::int32_t out_ports_;
   std::int32_t vcs_;
+  std::int64_t in_rr_wrap_;                 // lcm(1..vcs); 0 = no wrap
   std::int32_t first_injection_port_ = -1;  // -1: plain round-robin
 
-  std::vector<std::int32_t> in_rr_;   // per input: round-robin VC pointer
-  std::vector<std::int32_t> out_rr_;  // per output: round-robin input pointer
+  std::vector<std::int64_t> in_rr_;   // per input: round-robin VC pointer,
+                                      // wrapped at in_rr_wrap_ (see above)
+  std::vector<std::int32_t> out_rr_;  // per output: round-robin input
+                                      // pointer, bounded by construction
+                                      // (always advanced mod in_ports_)
 
   // Per-cycle scratch (preallocated).
   std::vector<std::int8_t> in_busy_;    // input granted this cycle
   std::vector<std::int8_t> out_busy_;   // output granted this cycle
-  std::vector<AllocRequest> in_winner_; // stage-1 winner per input
-  std::vector<std::int8_t> in_has_winner_;
+  // Per-iteration scratch (preallocated, sparse-cleared after stage 2).
+  std::vector<AllocGrant> winners_;     // stage-1 winner per requesting input
   std::vector<std::int8_t> out_has_candidate_;
+  std::vector<PortIndex> cand_outs_;    // distinct stage-1 outputs
   std::vector<AllocGrant> iter_grants_;
   std::vector<AllocGrant> cycle_grants_;
 };

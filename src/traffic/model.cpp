@@ -40,6 +40,7 @@ void TrafficModel::build_tables() {
   const std::int32_t npg = topo_.nodes_per_group;
   inject_prob_ =
       std::clamp(spec_.load / static_cast<double>(psize_), 0.0, 1.0);
+  inject_threshold_ = Rng::bool_threshold(inject_prob_);
 
   // Adversarial group bases: the offset is normalized ONCE here, not per
   // injected packet, and topologies with structure beyond a ring (fbfly
@@ -139,6 +140,9 @@ void TrafficModel::build_tables() {
     } else {
       alpha_ = beta_ * duty / (1.0 - duty);
     }
+    p_on_threshold_ = Rng::bool_threshold(p_on_);
+    alpha_threshold_ = Rng::bool_threshold(alpha_);
+    beta_threshold_ = Rng::bool_threshold(beta_);
     on_.assign(static_cast<std::size_t>(nodes), 0);
     // Start from the stationary distribution so measurement windows are
     // unbiased from the first cycle.
@@ -161,18 +165,25 @@ void TrafficModel::begin_cycle(Cycle now) {
   if (recording_ && record_base_ < 0) record_base_ = now;
 }
 
-bool TrafficModel::draw_injects(NodeId src) {
+bool TrafficModel::injects(NodeId src, Rng& rng) {
+  // Integer-threshold draws: bit-identical to next_bool on inject_prob_ /
+  // alpha_ / beta_ / p_on_ (see Rng::bool_threshold), one int compare per
+  // draw — this runs once per node per cycle, the model's only O(nodes)
+  // loop. `rng` is passed in so next() can batch the loop on a local copy
+  // whose state stays in registers.
   if (spec_.injection == InjectionProcess::kBernoulli) {
-    return rng_.next_bool(inject_prob_);
+    return rng.next_bool_below(inject_threshold_);
   }
   std::uint8_t& st = on_[static_cast<std::size_t>(src)];
   if (st != 0) {
-    if (beta_ > 0.0 && rng_.next_bool(beta_)) st = 0;
-  } else if (rng_.next_bool(alpha_)) {
+    if (beta_ > 0.0 && rng.next_bool_below(beta_threshold_)) st = 0;
+  } else if (rng.next_bool_below(alpha_threshold_)) {
     st = 1;
   }
-  return st != 0 && rng_.next_bool(p_on_);
+  return st != 0 && rng.next_bool_below(p_on_threshold_);
 }
+
+bool TrafficModel::draw_injects(NodeId src) { return injects(src, rng_); }
 
 NodeId TrafficModel::uniform_excluding(NodeId src) {
   const std::int32_t nodes = topo_.nodes;
@@ -234,14 +245,27 @@ bool TrafficModel::next(Injection& out) {
       return false;
     }
   } else {
-    for (;;) {
-      if (node_cursor_ >= topo_.nodes) return false;
-      const NodeId n = node_cursor_++;
-      if (!draw_injects(n)) continue;
-      out.src = n;
-      out.dst = draw_dest(n);
-      break;
+    // Per-node scan on local copies: the RNG state and cursor live in
+    // registers across the (mostly non-injecting) nodes instead of
+    // round-tripping through members every iteration — same draws in the
+    // same order, ~5x faster at scale. State is written back before
+    // draw_dest so the destination draw continues the same stream.
+    const std::int32_t nodes = topo_.nodes;
+    std::int32_t cursor = node_cursor_;
+    Rng rng = rng_;
+    NodeId hit = -1;
+    while (cursor < nodes) {
+      const NodeId n = cursor++;
+      if (injects(n, rng)) {
+        hit = n;
+        break;
+      }
     }
+    rng_ = rng;
+    node_cursor_ = cursor;
+    if (hit < 0) return false;
+    out.src = hit;
+    out.dst = draw_dest(hit);
   }
   if (recording_) {
     const bool grew = recorded_.size() == recorded_.capacity();

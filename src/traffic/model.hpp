@@ -86,6 +86,8 @@ class TrafficModel {
  private:
   void build_tables();
   [[nodiscard]] NodeId uniform_excluding(NodeId src);
+  /// draw_injects against an explicit RNG (next() loops on a local copy).
+  [[nodiscard]] bool injects(NodeId src, Rng& rng);
 
   TrafficParams spec_;
   TrafficTopologyInfo topo_;
@@ -102,6 +104,13 @@ class TrafficModel {
   double alpha_ = 0.0;
   double beta_ = 0.0;
   std::vector<std::uint8_t> on_;
+  // Integer acceptance bounds (Rng::bool_threshold) for the per-node
+  // injection draws — the O(nodes)-per-cycle hot loop. Outcomes are
+  // bit-identical to next_bool on the corresponding probability.
+  std::uint64_t inject_threshold_ = 0;
+  std::uint64_t p_on_threshold_ = 0;
+  std::uint64_t alpha_threshold_ = 0;
+  std::uint64_t beta_threshold_ = 0;
 
   // Per-cycle iteration state.
   Cycle now_ = 0;

@@ -3,6 +3,7 @@
 // and reproducible regardless of thread scheduling.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 
 namespace dfsim {
@@ -45,6 +46,26 @@ class Rng {
   }
 
   bool next_bool(double probability) { return next_double() < probability; }
+
+  /// Precomputed acceptance bound for next_bool(probability), for hot loops
+  /// that test the same probability millions of times (the traffic model's
+  /// per-node injection draws). next_bool draws x = next() >> 11 and tests
+  /// x * 2^-53 < p; both the 53-bit-to-double conversion and the
+  /// power-of-two scaling are exact, so that is the real-number comparison
+  /// x < p * 2^53 — an integer test against ceil(p * 2^53). Outcomes are
+  /// bit-identical to next_bool for every probability, from the same single
+  /// draw.
+  [[nodiscard]] static std::uint64_t bool_threshold(double probability) {
+    if (probability <= 0.0) return 0;
+    constexpr std::uint64_t kOne = std::uint64_t{1} << 53;
+    if (probability >= 1.0) return kOne;
+    const auto scaled =
+        static_cast<std::uint64_t>(std::ceil(probability * 0x1.0p53));
+    return scaled < kOne ? scaled : kOne;
+  }
+  bool next_bool_below(std::uint64_t threshold) {
+    return (next() >> 11) < threshold;
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {

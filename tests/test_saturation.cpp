@@ -13,6 +13,12 @@
 // (3) Zero-length measurement windows: throughput-style rates right after
 //     begin_measurement() must be 0, not NaN/inf, and run_steady with
 //     measure=0 must produce finite numbers end to end.
+// (4) Drain-to-idle then re-activation after deep saturation: with the
+//     active-set engine a stale queue bit / due-link entry (the classic
+//     stale-active-list bug) would either keep an idle network busy or —
+//     worse — drop a re-activated queue from arbitration forever. A
+//     saturated run must drain to an exactly-idle network and then serve
+//     fresh traffic at full rate.
 #include <cassert>
 #include <cmath>
 #include <cstdio>
@@ -129,6 +135,47 @@ int main() {
     assert(std::isfinite(r.latency_avg));
     assert(std::isfinite(r.latency_p99));
     assert(std::isfinite(r.backlog_per_node));
+  }
+
+  // --- (4) deep saturation -> drain to idle -> re-activation --------------
+  {
+    SimParams p = presets::tiny();
+    p.routing.kind = RoutingKind::kCbBase;
+    p.traffic.kind = TrafficKind::kAdversarial;
+    p.traffic.adv_offset = 1;
+    p.traffic.load = 0.8;  // far past the ADV saturation point
+    p.seed = 77;
+    Simulator sim(p);
+    sim.run(5000);
+    assert(sim.backlog_per_node() > 4.0);  // genuinely saturated
+
+    // Cut injection and let everything (deep injection backlogs included)
+    // flow out. The bound is generous: worst-case backlog times the
+    // longest per-hop latency at tiny scale.
+    TrafficParams off = p.traffic;
+    off.load = 0.0;
+    sim.set_traffic(off);
+    sim.run(60000);
+    sim.begin_measurement();
+    sim.run(100);
+    assert(sim.metrics().generated == 0);
+    assert(sim.metrics().delivered == 0);     // nothing left in flight
+    assert(sim.backlog_per_node() == 0.0);    // injection queues empty
+    assert(sim.debug_check_active_state());   // no stale active state
+
+    // Re-activate under a benign pattern: the drained network must serve
+    // it like a fresh one (every queue that went idle re-arms).
+    TrafficParams on = p.traffic;
+    on.kind = TrafficKind::kUniform;
+    on.load = 0.3;
+    sim.set_traffic(on);
+    sim.run(500);  // refill
+    sim.begin_measurement();
+    sim.run(1000);
+    assert(sim.debug_check_active_state());
+    assert(sim.metrics().delivered > 0);
+    assert(sim.throughput() > 0.2);  // near the offered 0.3, not a trickle
+    assert(sim.backlog_per_node() < 1.0);
   }
 
   return EXIT_SUCCESS;

@@ -5,12 +5,17 @@
 //   dfsim_run check --in=DIR [--goldens=DIR] [--rel-tol --abs-tol]
 //   dfsim_run render --in=DIR [--out=RESULTS.md] [--goldens=DIR]
 //   dfsim_run gate [--experiments=..] --goldens=DIR [--scale=tiny] ...
+//   dfsim_run perf [--scales=tiny,medium] [--loads=0.05,0.3] [--out=F]
 //
 // `run` executes registered experiments through the parallel sweep engine
 // and emits schema-versioned JSON (+ long-format CSV) per experiment;
 // `check` evaluates the paper-parity trend gates and the tolerance-banded
 // golden comparison over emitted documents; `render` generates RESULTS.md;
-// `gate` is run+check in one process (the ctest parity target).
+// `gate` is run+check in one process (the ctest parity target); `perf`
+// times raw Simulator::step() throughput (cycles/sec) per scale x load and
+// emits the BENCH_engine.json trajectory document, optionally soft-checking
+// it against a committed baseline (--baseline, warns on >threshold drops).
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -45,7 +50,10 @@ int usage(const std::string& error = "") {
       "          [--config=file.ini] [--set=key=v;key2=v2]\n"
       "  check   --in=DIR [--goldens=DIR] [--rel-tol=R --abs-tol=A]\n"
       "  render  --in=DIR [--out=RESULTS.md] [--goldens=DIR]\n"
-      "  gate    [--experiments=..] --goldens=DIR [run flags]\n";
+      "  gate    [--experiments=..] --goldens=DIR [run flags]\n"
+      "  perf    [--scales=tiny,medium] [--loads=0.05,0.3] [--routing=Base]\n"
+      "          [--traffic=uniform] [--cycles=N] [--warmup=N] [--seed=N]\n"
+      "          [--out=BENCH_engine.json] [--baseline=F] [--threshold=0.2]\n";
   return 2;
 }
 
@@ -358,6 +366,142 @@ int cmd_gate(const CliOptions& cli) {
   return print_gates(gates);
 }
 
+// ---------------------------------------------------------------------------
+// perf: raw engine stepping throughput (the BENCH_engine.json trajectory).
+
+/// Wall-clock cycles for one timed point, sized so every point finishes in
+/// well under a second on the scan-free engine while still averaging over
+/// enough cycles that per-cycle noise washes out.
+Cycle default_perf_cycles(const std::string& scale) {
+  if (scale == "tiny") return 60000;
+  if (scale == "small") return 20000;
+  if (scale == "medium") return 8000;
+  return 600;  // paper
+}
+
+int cmd_perf(const CliOptions& cli) {
+  const std::vector<std::string> scales =
+      split_csv(cli.get("scales", "tiny,medium"));
+  std::vector<double> loads;
+  for (const std::string& item : split_csv(cli.get("loads", "0.05,0.3"))) {
+    try {
+      loads.push_back(std::stod(item));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("perf: bad --loads entry '" + item + "'");
+    }
+  }
+  const RoutingKind routing =
+      routing_kind_from_string(cli.get("routing", "Base"));
+  const TrafficKind traffic =
+      traffic_kind_from_string(cli.get("traffic", "uniform"));
+  const Cycle warmup = cli.get_int("warmup", 500);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+
+  Json points = Json::array();
+  for (const std::string& scale : scales) {
+    for (const double load : loads) {
+      SimParams p = presets::by_name(scale);
+      p.routing.kind = routing;
+      p.traffic.kind = traffic;
+      p.traffic.load = load;
+      p.seed = seed;
+      const Cycle cycles = cli.get_int("cycles", default_perf_cycles(scale));
+
+      Simulator sim(p);
+      sim.run(warmup);
+      sim.begin_measurement();
+      const auto t0 = std::chrono::steady_clock::now();
+      sim.run(cycles);
+      const auto t1 = std::chrono::steady_clock::now();
+      const double seconds =
+          std::chrono::duration<double>(t1 - t0).count();
+      const double cps =
+          seconds > 0.0 ? static_cast<double>(cycles) / seconds : 0.0;
+
+      Json pt = Json::object();
+      pt.set("scale", scale);
+      pt.set("nodes", p.nodes());
+      pt.set("load", load);
+      pt.set("cycles", static_cast<std::int64_t>(cycles));
+      pt.set("seconds", seconds);
+      pt.set("cycles_per_sec", cps);
+      pt.set("delivered", sim.metrics().delivered);
+      points.push_back(std::move(pt));
+      std::cerr << "perf " << scale << " load=" << load << ": "
+                << static_cast<std::int64_t>(cps) << " cycles/sec ("
+                << cycles << " cycles, "
+                << sim.metrics().delivered << " delivered)\n";
+    }
+  }
+
+  Json doc = Json::object();
+  doc.set("schema", "dfsim-bench-engine/v1");
+  doc.set("routing", to_string(routing));
+  doc.set("traffic", to_string(traffic));
+  doc.set("warmup", static_cast<std::int64_t>(warmup));
+  doc.set("points", std::move(points));
+
+  // Soft regression check against a committed trajectory file: timing noise
+  // makes a hard gate flaky, so drops past the threshold only warn — and an
+  // unreadable or corrupt baseline skips the comparison instead of failing
+  // the (otherwise successful) measurement.
+  if (cli.has("baseline")) {
+    const double threshold = cli.get_double("threshold", 0.2);
+    Json base;
+    bool base_ok = false;
+    std::ifstream in(cli.get("baseline"), std::ios::binary);
+    if (in) {
+      std::stringstream buf;
+      buf << in.rdbuf();
+      try {
+        base = Json::parse(buf.str());
+        (void)base.get("points");
+        base_ok = true;
+      } catch (const std::exception& e) {
+        std::cerr << "perf: baseline '" << cli.get("baseline")
+                  << "' corrupt (" << e.what() << "), skipping comparison\n";
+      }
+    } else {
+      std::cerr << "perf: baseline '" << cli.get("baseline")
+                << "' not readable, skipping comparison\n";
+    }
+    int warnings = 0;
+    if (base_ok) {
+      for (const Json& pt : doc.get("points").items()) {
+        for (const Json& bp : base.get("points").items()) {
+          if (bp.get_string("scale") != pt.get_string("scale") ||
+              bp.get_number("load") != pt.get_number("load")) {
+            continue;
+          }
+          const double now = pt.get_number("cycles_per_sec");
+          const double before = bp.get_number("cycles_per_sec");
+          if (before > 0.0 && now < (1.0 - threshold) * before) {
+            ++warnings;
+            std::cerr << "perf WARNING: " << pt.get_string("scale")
+                      << " load=" << pt.get_number("load") << " regressed "
+                      << format_fixed(100.0 * (1.0 - now / before), 1)
+                      << "% (" << static_cast<std::int64_t>(before) << " -> "
+                      << static_cast<std::int64_t>(now) << " cycles/sec)\n";
+          }
+        }
+      }
+      if (warnings == 0) {
+        std::cerr << "perf: no regression beyond "
+                  << format_fixed(100.0 * threshold, 0)
+                  << "% vs " << cli.get("baseline") << "\n";
+      }
+    }
+  }
+
+  if (cli.has("out")) {
+    write_file(cli.get("out"), doc.dump());
+    std::cerr << "wrote " << cli.get("out") << "\n";
+  } else {
+    std::cout << doc.dump();
+  }
+  return 0;  // soft gate: warnings never fail the run
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -370,6 +514,7 @@ int main(int argc, char** argv) {
     if (command == "check") return cmd_check(cli);
     if (command == "render") return cmd_render(cli);
     if (command == "gate") return cmd_gate(cli);
+    if (command == "perf") return cmd_perf(cli);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;

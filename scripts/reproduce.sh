@@ -46,8 +46,11 @@ if [[ ! -x "$RUN" ]]; then
 fi
 
 echo "== running the full experiment registry at scale=$SCALE -> $OUT/ =="
+# --strip-rev always: the committed RESULTS.md is rev-free, so a clean
+# reproduction must be a no-op diff (rev-stamped documents are available
+# via dfsim_run run directly when provenance matters).
 "$RUN" run --experiments=all --scale="$SCALE" --out="$OUT" --quiet \
-  "${EXTRA_ARGS[@]+"${EXTRA_ARGS[@]}"}"
+  --strip-rev "${EXTRA_ARGS[@]+"${EXTRA_ARGS[@]}"}"
 
 echo "== paper-parity gates =="
 CHECK_STATUS=0

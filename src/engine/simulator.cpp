@@ -300,26 +300,63 @@ VcIndex Simulator::vc_for(RouterId r, PortIndex out,
 bool Simulator::pick_misroute_channel(RouterId r, NodeId dst,
                                       bool use_snapshot, bool use_occupancy,
                                       NonminCandidate& best) {
+  // Target number of distinct scored options per decision (the paper's CRG
+  // candidate set size at its h=8 router; pools at or below this are
+  // enumerated exhaustively).
+  constexpr std::int32_t kCandidates = 4;
+
   const bool crg = params_.routing.global_policy == GlobalMisroutePolicy::kCrg;
   const std::int32_t pool_size = topo_.nonmin_pool_size(r, crg);
   if (!topo_.nonmin_viable(r, dst, crg)) return false;
 
   bool have = false;
   std::int64_t best_score = 0;
-  const std::int32_t samples = std::min<std::int32_t>(4, pool_size);
   NonminCandidate cand;
-  for (std::int32_t s = 0; s < samples; ++s) {
-    if (!topo_.sample_nonmin(rng_, r, dst, crg, cand)) continue;
-    std::int64_t score = counters_.value(flat_port(r, cand.first_hop));
+  const auto consider = [&](const NonminCandidate& c) {
+    std::int64_t score = counters_.value(flat_port(r, c.first_hop));
     if (use_snapshot) {
-      score += ectn_.value(topo_.ectn_domain(r), cand.channel);
+      score += ectn_.value(topo_.ectn_domain(r), c.channel);
     }
-    if (use_occupancy) score += occupancy_phits(r, cand.first_hop) / psize_;
+    if (use_occupancy) score += occupancy_phits(r, c.first_hop) / psize_;
     if (!have || score < best_score) {
       have = true;
-      best = cand;
+      best = c;
       best_score = score;
     }
+  };
+
+  if (pool_size <= kCandidates) {
+    // Small pool (e.g. CRG with few global channels per router): enumerate
+    // every distinct option. Sampling WITH replacement here double-scored
+    // duplicates and compared fewer distinct options than the paper's CRG
+    // candidate set.
+    for (std::int32_t i = 0; i < pool_size; ++i) {
+      if (topo_.nonmin_candidate_at(r, dst, crg, i, cand)) consider(cand);
+    }
+    return have;
+  }
+
+  // Large pool: sample DISTINCT candidates — duplicates are never scored
+  // twice and burn a draw slot, with one spare draw beyond the target so a
+  // single duplicate/minimal hit still yields a full candidate set. The
+  // budget is deliberately tight: chasing full distinctness harder
+  // (e.g. 2x draws) measurably herds saturated traffic onto the momentary
+  // argmin channel on topologies whose candidate scores are near-uniform
+  // (fbfly/torus adversarial saturation loses ~5-10% throughput), while
+  // one retry recovers the lost comparison diversity on the dragonfly
+  // without that side effect.
+  std::int32_t seen[kCandidates];
+  std::int32_t n_seen = 0;
+  for (std::int32_t draw = 0;
+       draw < kCandidates + 1 && n_seen < kCandidates; ++draw) {
+    if (!topo_.sample_nonmin(rng_, r, dst, crg, cand)) continue;
+    bool duplicate = false;
+    for (std::int32_t s = 0; s < n_seen; ++s) {
+      duplicate |= seen[s] == cand.channel;
+    }
+    if (duplicate) continue;
+    seen[n_seen++] = cand.channel;
+    consider(cand);
   }
   return have;
 }

@@ -88,6 +88,10 @@ class FlattenedButterflyTopology final : public Topology {
   [[nodiscard]] bool sample_nonmin(Rng& rng, RouterId r, NodeId dst,
                                    bool own_router_only,
                                    NonminCandidate& out) const override;
+  [[nodiscard]] bool nonmin_candidate_at(RouterId r, NodeId dst,
+                                         bool own_router_only,
+                                         std::int32_t index,
+                                         NonminCandidate& out) const override;
   [[nodiscard]] bool sample_valiant(Rng& rng, RouterId r, NodeId dst,
                                     NonminCandidate& out) const override;
 

@@ -149,6 +149,17 @@ bool DragonflyTopology::sample_nonmin(Rng& rng, RouterId r, NodeId dst,
   return true;
 }
 
+bool DragonflyTopology::nonmin_candidate_at(RouterId r, NodeId dst,
+                                            bool own_router_only,
+                                            std::int32_t index,
+                                            NonminCandidate& out) const {
+  const std::int32_t j =
+      own_router_only ? local_index(r) * params_.h + index : index;
+  if (j == min_channel(r, dst)) return false;
+  fill_candidate(r, j, out);
+  return true;
+}
+
 bool DragonflyTopology::sample_valiant(Rng& rng, RouterId r, NodeId dst,
                                        NonminCandidate& out) const {
   const std::int32_t channels = params_.a * params_.h;

@@ -159,6 +159,15 @@ class Topology {
   [[nodiscard]] virtual bool sample_nonmin(Rng& rng, RouterId r, NodeId dst,
                                            bool own_router_only,
                                            NonminCandidate& out) const = 0;
+  /// Enumerated access to the candidate pool for small-pool exhaustive
+  /// scoring: option `index` in [0, nonmin_pool_size(r, own_router_only)).
+  /// False when that slot is the minimal route (or otherwise unusable).
+  /// Draws no RNG; distinct indices yield distinct candidates.
+  [[nodiscard]] virtual bool nonmin_candidate_at(RouterId r, NodeId dst,
+                                                 bool own_router_only,
+                                                 std::int32_t index,
+                                                 NonminCandidate& out)
+      const = 0;
   /// Uniform Valiant draw over all valid nonminimal options; false when no
   /// candidate could be produced.
   [[nodiscard]] virtual bool sample_valiant(Rng& rng, RouterId r, NodeId dst,

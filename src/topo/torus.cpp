@@ -70,6 +70,16 @@ bool TorusTopology::sample_nonmin(Rng& rng, RouterId r, NodeId dst,
   return make_candidate(r, inter, out);
 }
 
+bool TorusTopology::nonmin_candidate_at(RouterId r, NodeId dst,
+                                        bool own_router_only,
+                                        std::int32_t index,
+                                        NonminCandidate& out) const {
+  (void)own_router_only;
+  const RouterId dr = router_of_node(dst);
+  if (index == r || index == dr) return false;  // not a nonminimal option
+  return make_candidate(r, index, out);
+}
+
 bool TorusTopology::sample_valiant(Rng& rng, RouterId r, NodeId dst,
                                    NonminCandidate& out) const {
   const RouterId dr = router_of_node(dst);

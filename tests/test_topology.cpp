@@ -1,9 +1,16 @@
 // DragonflyTopology invariants: peer symmetry, unique group pair links,
-// minimal path shape (<= 3 router hops, <= 1 global hop), gateway tables.
+// minimal path shape (<= 3 router hops, <= 1 global hop), gateway tables —
+// plus the nonminimal candidate-pool enumeration contract
+// (nonmin_candidate_at) all three topologies must honor for the engine's
+// small-pool exhaustive scoring.
+#include <algorithm>
 #include <cassert>
 #include <cstdlib>
+#include <set>
 
+#include "fbfly/fb_topology.hpp"
 #include "topo/dragonfly.hpp"
+#include "topo/torus.hpp"
 
 namespace {
 
@@ -84,10 +91,55 @@ void check_preset(const dfsim::SimParams& params) {
   }
 }
 
+// Enumeration contract of nonmin_candidate_at: distinct indices yield
+// distinct channels, every usable index fills a candidate whose channel is
+// never the minimal one, and (for the dragonfly) the CRG pool enumerates
+// exactly this router's own global channels. The engine's small-pool
+// exhaustive scoring (pick_misroute_channel) relies on all of this.
+void check_candidate_enumeration(const dfsim::Topology& topo,
+                                 bool has_crg_restriction) {
+  using namespace dfsim;
+  for (RouterId r = 0; r < topo.routers(); r += std::max(1, topo.routers() / 7)) {
+    for (NodeId dst = 0; dst < topo.nodes();
+         dst += std::max(1, topo.nodes() / 5)) {
+      if (topo.router_of_node(dst) == r) continue;
+      if (topo.min_channel(r, dst) < 0) continue;  // no nonminimal decision
+      for (const bool crg : {false, true}) {
+        if (crg && !has_crg_restriction) continue;
+        const std::int32_t pool = topo.nonmin_pool_size(r, crg);
+        assert(pool > 0);
+        std::set<std::int32_t> channels;
+        for (std::int32_t i = 0; i < pool; ++i) {
+          NonminCandidate cand;
+          if (!topo.nonmin_candidate_at(r, dst, crg, i, cand)) continue;
+          assert(cand.channel != topo.min_channel(r, dst));
+          assert(cand.first_hop >= 0);
+          const bool fresh = channels.insert(cand.channel).second;
+          assert(fresh);  // distinct indices -> distinct candidates
+        }
+        // The pool loses at most the minimal slot plus (router-id candidate
+        // spaces) the self/destination routers; everything else is usable.
+        assert(static_cast<std::int32_t>(channels.size()) >= pool - 2);
+        assert(!channels.empty());
+      }
+    }
+  }
+}
+
 }  // namespace
 
 int main() {
   check_preset(dfsim::presets::tiny());
   check_preset(dfsim::presets::small());
+
+  {
+    using namespace dfsim;
+    const DragonflyTopology dragonfly(presets::small().topo);
+    check_candidate_enumeration(dragonfly, /*has_crg_restriction=*/true);
+    const FlattenedButterflyTopology fbfly(FbflyParams{4, 2, 4});
+    check_candidate_enumeration(fbfly, /*has_crg_restriction=*/false);
+    const TorusTopology torus(TorusParams{8, 2, 2});
+    check_candidate_enumeration(torus, /*has_crg_restriction=*/false);
+  }
   return EXIT_SUCCESS;
 }

@@ -3,7 +3,7 @@
 #   BENCH_micro.json     — combined google-benchmark JSON for the micro
 #                          regression gates (counters, allocator, topology);
 #   BENCH_workloads.json — the ablation_workloads registry experiment at
-#                          tiny scale as a schema-versioned dfsim-results/v1
+#                          tiny scale as a schema-versioned dfsim-results
 #                          document (emitted by dfsim_run, rev-stripped so
 #                          re-running on an unchanged tree is a no-op diff);
 #   BENCH_engine.json    — raw Simulator::step() throughput (cycles/sec per

@@ -1,6 +1,48 @@
 #include "engine/experiment.hpp"
 
+#include <chrono>
+
 namespace dfsim {
+
+namespace {
+
+/// Runs `sim` forward `cycles` cycles in `window`-sized chunks, stopping early
+/// when no packet has been delivered over a full window while packets are
+/// still in the network (deadlock / total blackout under a fault schedule),
+/// or when the optional wall-clock cap trips. Returns false on early stop.
+///
+/// Chunked stepping is bit-exact with one long run — run(a); run(b) is
+/// identical to run(a + b) — so healthy results are unchanged by the window.
+bool run_guarded(Simulator& sim, Cycle cycles, Cycle window,
+                 double wall_limit_s) {
+  if (cycles <= 0) return true;
+  if (window <= 0 && wall_limit_s <= 0.0) {
+    sim.run(cycles);
+    return true;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  const Cycle chunk = window > 0 ? window : cycles;
+  Cycle remaining = cycles;
+  while (remaining > 0) {
+    const Cycle step = remaining < chunk ? remaining : chunk;
+    const std::int64_t delivered_before = sim.lifetime_totals().delivered;
+    sim.run(step);
+    if (window > 0 && step == chunk &&
+        sim.lifetime_totals().delivered == delivered_before &&
+        sim.packets_in_network() > 0) {
+      return false;  // a full window with live packets but zero progress
+    }
+    remaining -= step;
+    if (wall_limit_s > 0.0) {
+      const std::chrono::duration<double> elapsed =
+          std::chrono::steady_clock::now() - start;
+      if (elapsed.count() > wall_limit_s) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 SteadyResult run_steady(const SimParams& params, const SteadyOptions& options) {
   const std::int32_t reps = options.reps < 1 ? 1 : options.reps;
@@ -15,9 +57,14 @@ SteadyResult run_steady(const SimParams& params, const SteadyOptions& options) {
     SimParams p = params;
     p.seed = params.seed + static_cast<std::uint64_t>(rep) * 7919u;
     Simulator sim(p);
-    sim.run(options.warmup);
+    bool ok = run_guarded(sim, options.warmup, options.progress_window,
+                          options.wall_limit_s);
     sim.begin_measurement();
-    sim.run(options.measure);
+    if (ok) {
+      ok = run_guarded(sim, options.measure, options.progress_window,
+                       options.wall_limit_s);
+    }
+    if (!ok) acc.timed_out += 1.0;
 
     const Simulator::Metrics& m = sim.metrics();
     pooled.merge(m.latency_hist);
@@ -33,6 +80,19 @@ SteadyResult run_steady(const SimParams& params, const SteadyOptions& options) {
     // metrics() was reset at begin_measurement, so `generated` covers the
     // measure window only; the accessor guards the zero-length-window case.
     acc.generated_load += sim.generated_load();
+    // Fault-overlay columns, from lifetime totals so a fault firing during
+    // warmup is still visible in the measured row.
+    const Simulator::Totals& t = sim.lifetime_totals();
+    const double accepted =
+        static_cast<double>(t.generated - t.refused) > 0.0
+            ? static_cast<double>(t.generated - t.refused)
+            : 1.0;
+    acc.dropped_pct += 100.0 * static_cast<double>(t.dropped) / accepted;
+    acc.undeliverable_pct +=
+        100.0 * static_cast<double>(t.undeliverable) / accepted;
+    acc.dead_traversals += static_cast<double>(m.dead_link_hops);
+    const std::int64_t cons = sim.conservation_error();
+    acc.conservation_error += static_cast<double>(cons < 0 ? -cons : cons);
   }
   const auto n = static_cast<double>(reps);
   acc.latency_avg /= n;
@@ -46,6 +106,11 @@ SteadyResult run_steady(const SimParams& params, const SteadyOptions& options) {
   acc.backlog_per_node /= n;
   acc.generated_load /= n;
   acc.latency_overflow = static_cast<double>(pooled.overflow()) / n;
+  acc.dropped_pct /= n;
+  acc.undeliverable_pct /= n;
+  acc.dead_traversals /= n;
+  acc.conservation_error /= n;
+  acc.timed_out /= n;
   return acc;
 }
 
@@ -100,12 +165,20 @@ TransientResult run_transient(const SimParams& params,
     p.seed = params.seed + static_cast<std::uint64_t>(rep) * 7919u;
     p.traffic = options.before;
     Simulator sim(p);
-    sim.run(options.warmup);
+    bool ok = run_guarded(sim, options.warmup, options.progress_window,
+                          options.wall_limit_s);
     sim.enable_delivery_log();
-    sim.run(options.pre);
+    if (ok) {
+      ok = run_guarded(sim, options.pre, options.progress_window,
+                       options.wall_limit_s);
+    }
     const Cycle switch_cycle = sim.now();
     sim.set_traffic(options.after);
-    sim.run(options.post + options.drain);
+    if (ok) {
+      ok = run_guarded(sim, options.post + options.drain,
+                       options.progress_window, options.wall_limit_s);
+    }
+    if (!ok) result.mark_timed_out();
 
     for (const Simulator::Delivery& d : sim.delivery_log()) {
       result.record(d.birth - switch_cycle, d.latency, d.misrouted);

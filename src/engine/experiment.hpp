@@ -15,6 +15,16 @@ struct SteadyOptions {
   Cycle warmup = 2000;
   Cycle measure = 3000;
   std::int32_t reps = 1;
+  /// No-progress watchdog: a rep that goes `progress_window` consecutive
+  /// cycles without a single delivery while packets sit in the network
+  /// (deadlock / total blackout under a fault schedule) stops early and the
+  /// result is flagged timed_out instead of hanging ctest/CI. Deterministic
+  /// (cycle-based), and chunked stepping is bit-exact with one long run, so
+  /// healthy results are unchanged for any window. <= 0 disables.
+  Cycle progress_window = 50000;
+  /// Optional wall-clock cap per rep in seconds; 0 disables. CI backstop
+  /// only — tripping it makes results machine-dependent.
+  double wall_limit_s = 0.0;
 };
 
 struct SteadyResult {
@@ -34,6 +44,12 @@ struct SteadyResult {
   /// histogram's tracked range (LatencyHistogram::overflow) — nonzero means
   /// the p50/p95/p99 columns are saturated lower bounds, not estimates.
   double latency_overflow = 0.0;
+  // Fault-overlay columns (all 0 for healthy runs).
+  double dropped_pct = 0.0;        // in-flight losses, % of accepted packets
+  double undeliverable_pct = 0.0;  // hop-cap drops, % of accepted packets
+  double dead_traversals = 0.0;    // departures onto down links (must be 0)
+  double conservation_error = 0.0; // unaccounted packets (must be 0)
+  double timed_out = 0.0;          // share of reps stopped by the watchdog
 };
 
 /// Runs warmup + measurement (averaged over `reps` seeds).
@@ -54,6 +70,9 @@ struct TransientOptions {
   /// Extra cycles simulated past `post` so late-born packets still deliver
   /// into their birth buckets.
   Cycle drain = 2000;
+  /// No-progress watchdog (see SteadyOptions::progress_window).
+  Cycle progress_window = 50000;
+  double wall_limit_s = 0.0;
 };
 
 class TransientResult {
@@ -70,6 +89,10 @@ class TransientResult {
   [[nodiscard]] Cycle pre() const { return pre_; }
   [[nodiscard]] Cycle post() const { return post_; }
 
+  /// True when any rep was stopped early by the no-progress watchdog.
+  [[nodiscard]] bool timed_out() const { return timed_out_; }
+  void mark_timed_out() { timed_out_ = true; }
+
  private:
   [[nodiscard]] std::size_t index(Cycle t) const {
     return static_cast<std::size_t>(t + pre_);
@@ -77,6 +100,7 @@ class TransientResult {
 
   Cycle pre_;
   Cycle post_;
+  bool timed_out_ = false;
   std::vector<std::int64_t> count_;
   std::vector<std::int64_t> misrouted_;
   std::vector<double> latency_sum_;

@@ -39,6 +39,7 @@ class PacketPool {
     target_router.push_back(-1);
     via_port.push_back(-1);
     g_hops.push_back(0);
+    hops.push_back(0);
     flags.push_back(0);
     return id;
   }
@@ -49,6 +50,7 @@ class PacketPool {
     target_router[static_cast<std::size_t>(id)] = -1;
     via_port[static_cast<std::size_t>(id)] = -1;
     g_hops[static_cast<std::size_t>(id)] = 0;
+    hops[static_cast<std::size_t>(id)] = 0;
     flags[static_cast<std::size_t>(id)] = 0;
   }
 
@@ -60,6 +62,7 @@ class PacketPool {
     target_router.reserve(n);
     via_port.reserve(n);
     g_hops.reserve(n);
+    hops.reserve(n);
     flags.reserve(n);
     free_.reserve(n);
   }
@@ -74,6 +77,7 @@ class PacketPool {
   std::vector<RouterId> target_router;  // phase-0 gateway target
   std::vector<std::int16_t> via_port;   // global port to take at the gateway
   std::vector<std::int8_t> g_hops;      // global hops taken so far (VC class)
+  std::vector<std::uint16_t> hops;      // total hops (fault livelock guard)
   std::vector<std::uint8_t> flags;
 
   /// Number of times the arrays grew (allocation events).

@@ -36,6 +36,20 @@ Simulator::Simulator(const SimParams& params,
   hybrid_trigger_ = ContentionThresholdTrigger{
       params_.routing.hybrid_contention_threshold, false, 0};
 
+  if (params_.fault.enabled) {
+    // Built before build_layout: ring capacities must cover the extra
+    // in-flight time degraded links impose.
+    fault_on_ = true;
+    fault_ = FaultModel(params_.fault, topo_, params_.seed);
+    health_.init(topo_.routers(), radix_);
+    hop_cap_ = std::max(1, params_.fault.hop_cap);
+    fault_next_event_ = params_.fault.onset;
+    // The simulator holds exclusive ownership of the topology instance
+    // (stored const for the hot path); attaching the health overlay is the
+    // one sanctioned mutation, and only happens when faults are enabled.
+    const_cast<Topology&>(topo_).attach_link_health(&health_);
+  }
+
   build_layout();
 
   if (params_.routing.kind == RoutingKind::kCbEctn) {
@@ -144,7 +158,9 @@ void Simulator::build_layout() {
   for (RouterId r = 0; r < routers; ++r) {
     for (PortIndex port = 0; port < fwd_; ++port) {
       const std::size_t idx = static_cast<std::size_t>(flat_port(r, port));
-      const std::int32_t cap = link_delay_[idx] / psize_ + 2;
+      // Degraded links hold packets up to max_extra_latency longer.
+      const std::int32_t extra = fault_on_ ? fault_.max_extra_latency() : 0;
+      const std::int32_t cap = (link_delay_[idx] + extra) / psize_ + 2;
       ring_offset_[idx] = ring_total;
       ring_cap_[idx] = cap;
       ring_total += cap;
@@ -257,12 +273,23 @@ void Simulator::on_new_head(std::int32_t q) {
 
 PortIndex Simulator::route_output(RouterId r, std::int32_t packet) const {
   const auto pi = static_cast<std::size_t>(packet);
+  PortIndex out;
+  RouterId target;
   if (pool_.flags[pi] & PacketPool::kPhase0) {
-    const RouterId target = pool_.target_router[pi];
-    if (r == target) return pool_.via_port[pi];
-    return topo_.route_toward(r, target);
+    target = pool_.target_router[pi];
+    out = r == target ? static_cast<PortIndex>(pool_.via_port[pi])
+                      : topo_.route_toward(r, target);
+  } else {
+    target = topo_.router_of_node(pool_.dst[pi]);
+    out = topo_.minimal_output(r, pool_.dst[pi]);
   }
-  return topo_.minimal_output(r, pool_.dst[pi]);
+  if (fault_on_ && out >= 0 && out < fwd_ && !health_.link_up(r, out)) {
+    // Preferred link is down: deterministic topology fallback (no RNG — a
+    // blocked head may re-evaluate this every cycle). kInvalidPort when
+    // every forward link of `r` is down.
+    out = topo_.fallback_output(r, target, out);
+  }
+  return out;
 }
 
 std::int32_t Simulator::occupancy_phits(RouterId r, PortIndex out) const {
@@ -370,11 +397,21 @@ bool Simulator::ugal_prefers_misroute(RouterId r, std::int32_t packet,
 
   const PortIndex min_port = topo_.minimal_output(r, d);
   std::int64_t q_min = occupancy_phits(r, min_port);
-  const Cycle h_min =
-      std::max<Cycle>(1, hops_to_latency(topo_.min_hops(r, dr)));
+  Cycle h_min = std::max<Cycle>(1, hops_to_latency(topo_.min_hops(r, dr)));
 
   std::int64_t q_val = occupancy_phits(r, cand.first_hop);
-  const Cycle h_val = hops_to_latency(topo_.nonmin_hops(r, cand, dr));
+  Cycle h_val = hops_to_latency(topo_.nonmin_hops(r, cand, dr));
+
+  if (fault_on_) {
+    // Degradation the deciding router can observe: extra serialization on
+    // each option's first hop raises that path's latency estimate.
+    if (min_port >= 0 && min_port < fwd_) {
+      h_min += health_.extra_latency(r, min_port);
+    }
+    if (cand.first_hop >= 0 && cand.first_hop < fwd_) {
+      h_val += health_.extra_latency(r, cand.first_hop);
+    }
+  }
 
   if (global_info) {
     // Add the remote queues the idealized-global variant may consult —
@@ -560,6 +597,7 @@ void Simulator::maybe_local_detour(RouterId r, std::int32_t q) {
     const auto ap = static_cast<PortIndex>(
         rng_.next_below(static_cast<std::uint64_t>(locals)));
     if (ap == rp) continue;
+    if (fault_on_ && !health_.link_up(r, ap)) continue;
     const std::size_t flat = static_cast<std::size_t>(flat_port(r, ap));
     if (out_busy_until_[flat] > now_) continue;
     const VcIndex vcn = vc_for(r, ap, packet);
@@ -624,12 +662,14 @@ void Simulator::inject_traffic() {
   Injection inj;
   while (traffic_.next(inj)) {
     ++metrics_.generated;
+    ++totals_.generated;
 
     const RouterId r = topo_.router_of_node(inj.src);
     const PortIndex ip = fwd_ + (inj.src % topo_.concentration());
     const std::int32_t q = queue_index(r, ip, 0);
     if (q_free_[static_cast<std::size_t>(q)] <= 0) {
       ++metrics_.refused;
+      ++totals_.refused;
       continue;
     }
 
@@ -687,7 +727,20 @@ void Simulator::route_and_allocate() {
           }
           q_wait_[qi] = advance_head_wait(q_wait_[qi]);
 
-          const PortIndex out = q_request_[qi];
+          PortIndex out = q_request_[qi];
+          if (fault_on_ &&
+              (out < 0 || (out < fwd_ && !health_.link_up(r, out)))) {
+            // The requested link died (or no live option existed when the
+            // head was last routed): re-route via the topology fallback.
+            // Heads with no live output wait in place — a flap may revive
+            // the link, and head-wait re-evaluation above still lets the
+            // adaptive mechanisms divert the packet.
+            const std::int32_t packet = slab_[static_cast<std::size_t>(
+                q_offset_[qi] + q_head_[qi])];
+            out = route_output(r, packet);
+            q_request_[qi] = static_cast<std::int16_t>(out);
+            if (out < 0) continue;
+          }
           const std::size_t flat = static_cast<std::size_t>(flat_port(r, out));
           if (out_busy_until_[flat] > now_) continue;
           if (out < fwd_) {
@@ -734,6 +787,20 @@ void Simulator::depart(RouterId r, const AllocGrant& grant) {
   }
 
   const auto pi = static_cast<std::size_t>(packet);
+  if (fault_on_) {
+    // Hard invariant (gated == 0): the request filter in route_and_allocate
+    // never lets a head depart onto a down link.
+    if (!health_.link_up(r, out)) ++metrics_.dead_link_hops;
+    if (pool_.hops[pi] >= hop_cap_) {
+      // Livelock guard: rerouted around faults past any plausible path
+      // length; drop rather than circulate forever.
+      ++metrics_.undeliverable;
+      ++totals_.undeliverable;
+      pool_.release(packet);
+      return;
+    }
+    pool_.hops[pi] = static_cast<std::uint16_t>(pool_.hops[pi] + 1);
+  }
   const VcIndex vcn = vc_for(r, out, packet);  // pre-transition state
   const std::int32_t down = down_queue_base_[flat] + vcn;
   --q_free_[static_cast<std::size_t>(down)];
@@ -749,7 +816,8 @@ void Simulator::depart(RouterId r, const AllocGrant& grant) {
   }
 
   assert(ring_count_[flat] < ring_cap_[flat]);
-  const Cycle arrival = now_ + link_delay_[flat];
+  Cycle arrival = now_ + link_delay_[flat];
+  if (fault_on_) arrival += health_.extra_latency(r, out);
   const std::int32_t slot =
       ring_offset_[flat] + (ring_head_[flat] + ring_count_[flat]) %
                                ring_cap_[flat];
@@ -771,6 +839,7 @@ void Simulator::deliver(RouterId r, std::int32_t packet) {
   const bool mis_local = (flags & PacketPool::kMisLocal) != 0;
 
   ++metrics_.delivered;
+  ++totals_.delivered;
   metrics_.delivered_phits += psize_;
   metrics_.latency_sum += static_cast<double>(latency);
   metrics_.latency_hist.add(latency);
@@ -811,7 +880,46 @@ void Simulator::update_ectn() {
 // ---------------------------------------------------------------------------
 // Public driver
 
+void Simulator::advance_faults() {
+  health_.apply(fault_, now_);
+  fault_next_event_ = fault_.next_event_after(now_);
+
+  // Drop in-flight packets on links that just went down: each drop returns
+  // the reserved downstream credit and releases the packet, so conservation
+  // (generated - refused == delivered + dropped + undeliverable +
+  // in-network) keeps holding exactly.
+  bool purged = false;
+  for (const std::int32_t id : fault_.faulty_links()) {
+    const auto l = static_cast<std::size_t>(id);
+    if (ring_count_[l] == 0) continue;
+    if (health_.link_up(id / radix_, id % radix_)) continue;
+    while (ring_count_[l] > 0) {
+      const LinkEvent& ev = ring_slab_[static_cast<std::size_t>(
+          ring_offset_[l] + ring_head_[l])];
+      ++q_free_[static_cast<std::size_t>(ev.down_queue)];
+      ++metrics_.dropped;
+      ++totals_.dropped;
+      pool_.release(ev.packet);
+      ring_head_[l] = (ring_head_[l] + 1) % ring_cap_[l];
+      --ring_count_[l];
+    }
+    purged = true;
+  }
+  if (!purged) return;
+
+  // Rebuild the due-link heap so the one-key-per-non-empty-ring invariant
+  // survives the purge (ties keep popping in ascending link order).
+  link_heap_.clear();
+  for (std::size_t l = 0; l < ring_count_.size(); ++l) {
+    if (ring_count_[l] == 0) continue;
+    const LinkEvent& front = ring_slab_[static_cast<std::size_t>(
+        ring_offset_[l] + ring_head_[l])];
+    link_heap_push(link_key(front.arrival, static_cast<std::int32_t>(l)));
+  }
+}
+
 void Simulator::step() {
+  if (fault_on_ && now_ == fault_next_event_) advance_faults();
   deliver_arrivals();
   inject_traffic();
   update_ectn();
@@ -929,6 +1037,14 @@ bool Simulator::debug_check_active_state() const {
     inflight_packets += ring_count_[l];
     if (ring_count_[l] == 0) continue;
     ++nonempty;
+    // Fault overlay: nothing may remain in flight on a down link (purged at
+    // the fault event, never re-entered by the allocator filter).
+    if (fault_on_ &&
+        !health_.link_up(
+            static_cast<RouterId>(l / static_cast<std::size_t>(radix_)),
+            static_cast<PortIndex>(l % static_cast<std::size_t>(radix_)))) {
+      return false;
+    }
     const LinkEvent& front =
         ring_slab_[static_cast<std::size_t>(ring_offset_[l] + ring_head_[l])];
     if (front.arrival < now_) return false;
@@ -943,8 +1059,13 @@ bool Simulator::debug_check_active_state() const {
   }
 
   // (3) Pool accounting: every live packet sits in a queue or on a link.
-  return pool_.in_use() ==
-         static_cast<std::size_t>(queued_packets + inflight_packets);
+  if (pool_.in_use() !=
+      static_cast<std::size_t>(queued_packets + inflight_packets)) {
+    return false;
+  }
+
+  // (4) Lifetime packet conservation, drops included.
+  return conservation_error() == 0;
 }
 
 }  // namespace dfsim

@@ -52,6 +52,7 @@
 #include "core/ectn_state.hpp"
 #include "core/triggers.hpp"
 #include "engine/packet_pool.hpp"
+#include "fault/fault_model.hpp"
 #include "router/allocator.hpp"
 #include "sim/config.hpp"
 #include "topo/topology.hpp"
@@ -80,6 +81,11 @@ class Simulator {
     std::int64_t minimal_path = 0;
     std::int64_t generated = 0;
     std::int64_t refused = 0;  // generation attempts dropped at a full queue
+    // Fault-overlay accounting; all stay 0 while faults are disabled.
+    std::int64_t dropped = 0;        // in flight on a link when it went down
+    std::int64_t undeliverable = 0;  // dropped by the hop-cap livelock guard
+    std::int64_t dead_link_hops = 0; // departures onto a down link (hard
+                                     // invariant: must remain 0)
     LatencyHistogram latency_hist;  // log2-bucketed, for p50/p95/p99
 
     [[nodiscard]] double mean_latency() const {
@@ -113,6 +119,28 @@ class Simulator {
   void begin_measurement();
   [[nodiscard]] const Metrics& metrics() const { return metrics_; }
   [[nodiscard]] Cycle measured_cycles() const { return now_ - measure_start_; }
+
+  /// Lifetime (never reset) packet accounting for conservation checks:
+  /// generated - refused == delivered + dropped + undeliverable +
+  /// packets_in_network() holds at every cycle.
+  struct Totals {
+    std::int64_t generated = 0;
+    std::int64_t refused = 0;
+    std::int64_t delivered = 0;
+    std::int64_t dropped = 0;
+    std::int64_t undeliverable = 0;
+  };
+  [[nodiscard]] const Totals& lifetime_totals() const { return totals_; }
+  /// Packets currently held in queues or in flight on links.
+  [[nodiscard]] std::int64_t packets_in_network() const {
+    return static_cast<std::int64_t>(pool_.in_use());
+  }
+  /// Unaccounted packets (0 when conservation holds exactly).
+  [[nodiscard]] std::int64_t conservation_error() const {
+    return totals_.generated - totals_.refused -
+           (totals_.delivered + totals_.dropped + totals_.undeliverable +
+            packets_in_network());
+  }
 
   /// Accepted load in phits/node/cycle over the measurement window; 0 while
   /// the window is empty (guards the division right after
@@ -185,6 +213,12 @@ class Simulator {
 
   // --- construction helpers
   void build_layout();
+
+  // --- fault overlay
+  /// Refreshes the health map at a fault-event cycle, drops in-flight
+  /// packets on newly-dead links (credits returned, counted as dropped),
+  /// rebuilds the due-link heap, and schedules the next event.
+  void advance_faults();
 
   // --- per-cycle phases
   void deliver_arrivals();
@@ -321,11 +355,21 @@ class Simulator {
   std::int32_t ectn_bits_per_counter_ = 4;
   std::vector<std::int16_t> ectn_scratch_;
 
+  // --- fault overlay (members inert when fault_on_ is false; the engine
+  // then takes no fault branches and results are bit-exact with the
+  // pre-overlay engine)
+  bool fault_on_ = false;
+  FaultModel fault_;
+  LinkHealthMap health_;
+  Cycle fault_next_event_ = 0;
+  std::int32_t hop_cap_ = 0;
+
   // --- time, traffic, metrics
   Cycle now_ = 0;
   Rng rng_;  // routing decisions only; traffic draws live in traffic_
   TrafficModel traffic_;
   Metrics metrics_;
+  Totals totals_;
   Cycle measure_start_ = 0;
   bool log_deliveries_ = false;
   std::vector<Delivery> deliveries_;

@@ -62,7 +62,7 @@ bool FlattenedButterflyTopology::make_candidate(RouterId r, RouterId inter,
   out.inter = inter;
   out.via_port = -1;  // phase 0 ends on arrival at the intermediate
   out.first_hop = route_toward(r, inter);
-  return true;
+  return candidate_usable(r, out);
 }
 
 bool FlattenedButterflyTopology::sample_nonmin(Rng& rng, RouterId r,
@@ -93,9 +93,37 @@ bool FlattenedButterflyTopology::sample_valiant(Rng& rng, RouterId r,
   for (std::int32_t attempt = 0; attempt < 8; ++attempt) {
     const auto inter = static_cast<RouterId>(
         rng.next_below(static_cast<std::uint64_t>(routers())));
-    if (inter != r && inter != dr) return make_candidate(r, inter, out);
+    // With faults attached a drawn candidate may be unusable; keep trying
+    // within the attempt budget (draw-for-draw identical when healthy).
+    if (inter != r && inter != dr && make_candidate(r, inter, out)) {
+      return true;
+    }
   }
   return false;
+}
+
+PortIndex FlattenedButterflyTopology::fallback_output(RouterId r,
+                                                      RouterId target,
+                                                      PortIndex avoid) const {
+  const std::int32_t k = params_.k;
+  // Resolve a different dimension first (still minimal distance overall),
+  // then detour to another coordinate of the blocked dimension — that row
+  // router keeps a direct channel to the wanted coordinate.
+  for (std::int32_t dim = 0; dim < params_.n; ++dim) {
+    const std::int32_t ct = coord(target, dim);
+    if (coord(r, dim) == ct) continue;
+    const PortIndex p = channel_to(r, dim, ct);
+    if (p != avoid && link_up(r, p)) return p;
+  }
+  const std::int32_t dead_dim = avoid / (k - 1);
+  for (std::int32_t i = 0; i < k - 1; ++i) {
+    const PortIndex p = dead_dim * (k - 1) + i;
+    if (p != avoid && link_up(r, p)) return p;
+  }
+  for (PortIndex p = 0; p < forward_ports(); ++p) {
+    if (p != avoid && link_up(r, p)) return p;
+  }
+  return kInvalidPort;
 }
 
 bool FlattenedButterflyTopology::min_link_probe(RouterId r, NodeId dst,

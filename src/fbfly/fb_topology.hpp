@@ -121,6 +121,11 @@ class FlattenedButterflyTopology final : public Topology {
 
   [[nodiscard]] TrafficTopologyInfo traffic_info() const override;
 
+  /// Other minimal dimensions first, then a detour coordinate within the
+  /// blocked dimension (its row router has a direct channel onward).
+  [[nodiscard]] PortIndex fallback_output(RouterId r, RouterId target,
+                                          PortIndex avoid) const override;
+
  private:
   [[nodiscard]] bool make_candidate(RouterId r, RouterId inter,
                                     NonminCandidate& out) const;

@@ -20,7 +20,12 @@ const std::vector<std::string>& steady_metric_names() {
       "latency_avg",    "latency_p50",     "latency_p95",
       "latency_p99",    "throughput",      "misrouted_pct",
       "local_misrouted_pct", "minpath_pct", "backlog_per_node",
-      "generated_load", "latency_overflow"};
+      "generated_load", "latency_overflow",
+      // Fault-overlay columns — all exactly 0 for healthy runs. Golden
+      // comparison iterates the *golden's* metric list, so pre-fault goldens
+      // stay valid without regeneration.
+      "dropped_pct",    "undeliverable_pct", "dead_traversals",
+      "conservation_error", "timed_out"};
   return kNames;
 }
 
@@ -35,7 +40,12 @@ std::vector<double> steady_metric_values(const SteadyResult& r) {
           100.0 * r.minimal_path_fraction,
           r.backlog_per_node,
           r.generated_load,
-          r.latency_overflow};
+          r.latency_overflow,
+          r.dropped_pct,
+          r.undeliverable_pct,
+          r.dead_traversals,
+          r.conservation_error,
+          r.timed_out};
 }
 
 }  // namespace

@@ -156,9 +156,10 @@ ResultsDoc doc_from_json(const Json& json) {
   ResultsDoc doc;
   Header& h = doc.header;
   h.schema = json.get("schema").as_string();
-  if (h.schema != kSchemaVersion) {
+  if (h.schema != kSchemaVersion && h.schema != kSchemaVersionLegacy) {
     throw std::runtime_error("results: unsupported schema '" + h.schema +
-                             "' (want " + kSchemaVersion + ")");
+                             "' (want " + kSchemaVersion + " or " +
+                             kSchemaVersionLegacy + ")");
   }
   h.experiment = json.get("experiment").as_string();
   h.title = json.get_string("title");
@@ -342,6 +343,22 @@ std::string canonical_params_text(const SimParams& p) {
   f64("traffic.inorder_fraction", p.traffic.inorder_fraction);
   i32("packet_size_phits", p.packet_size_phits);
   line("seed", std::to_string(p.seed));
+  // Fault overlay, emitted only when enabled: healthy configs keep their
+  // exact pre-fault canonical text (and hash), so pinned hashes and v1
+  // goldens stay valid.
+  if (p.fault.enabled) {
+    boolean("fault.enabled", true);
+    line("fault.seed", std::to_string(p.fault.seed));
+    i32("fault.onset", static_cast<std::int32_t>(p.fault.onset));
+    f64("fault.link_fail_fraction", p.fault.link_fail_fraction);
+    line("fault.link_class", p.fault.link_class);
+    i32("fault.flap_period", static_cast<std::int32_t>(p.fault.flap_period));
+    i32("fault.flap_down", static_cast<std::int32_t>(p.fault.flap_down));
+    f64("fault.router_fail_fraction", p.fault.router_fail_fraction);
+    f64("fault.degrade_fraction", p.fault.degrade_fraction);
+    i32("fault.degrade_latency", p.fault.degrade_latency);
+    i32("fault.hop_cap", p.fault.hop_cap);
+  }
   return out;
 }
 

@@ -141,6 +141,15 @@ SimParams torus(std::int32_t k, std::int32_t n, std::int32_t c,
   return p;
 }
 
+SimParams with_link_faults(SimParams base, double fraction,
+                           const std::string& link_class, Cycle onset) {
+  base.fault.enabled = true;
+  base.fault.link_fail_fraction = fraction;
+  base.fault.link_class = link_class;
+  base.fault.onset = onset;
+  return base;
+}
+
 SimParams by_name(const std::string& name) {
   if (name == "paper") return paper();
   if (name == "medium") return medium();

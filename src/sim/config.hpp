@@ -145,6 +145,38 @@ struct RoutingParams {
   std::int32_t statistical_window = 4;
 };
 
+/// Deterministic fault schedule (src/fault/). Disabled by default; when
+/// disabled the engine takes zero fault branches and results are bit-exact
+/// with builds that predate the overlay.
+struct FaultParams {
+  bool enabled = false;
+  /// Selection seed for which links/routers fail; 0 derives from the run
+  /// seed so `seed` sweeps also vary the fault placement.
+  std::uint64_t seed = 0;
+  /// Cycle at which scheduled faults take effect (relative to cycle 0, i.e.
+  /// including warmup).
+  Cycle onset = 0;
+  /// Fraction of physical inter-router links (both directions) that fail.
+  double link_fail_fraction = 0.0;
+  /// Restrict link selection to a port class: "any", "local" or "global"
+  /// (dragonfly only distinguishes the two classes).
+  std::string link_class = "any";
+  /// When > 0, failed links flap instead of dying permanently: down for
+  /// `flap_down` cycles at the start of every `flap_period` window after
+  /// onset. Requires 0 < flap_down < flap_period.
+  Cycle flap_period = 0;
+  Cycle flap_down = 0;
+  /// Fraction of routers whose forward links all fail (both directions).
+  double router_fail_fraction = 0.0;
+  /// Fraction of physical links degraded with `degrade_latency` extra
+  /// cycles from onset (selected independently of the failed set).
+  double degrade_fraction = 0.0;
+  std::int32_t degrade_latency = 0;
+  /// Livelock guard: packets rerouted around faults for more than this many
+  /// hops are dropped and counted as `undeliverable`.
+  std::int32_t hop_cap = 64;
+};
+
 struct SimParams {
   /// Which topology the engine instantiates; `topo` (dragonfly), `fbfly`,
   /// or `torus` supplies the shape accordingly.
@@ -156,6 +188,7 @@ struct SimParams {
   LinkParams link;
   RoutingParams routing;
   TrafficParams traffic;
+  FaultParams fault;
   std::int32_t packet_size_phits = 8;
   std::uint64_t seed = 1;
 
@@ -198,6 +231,12 @@ namespace presets {
 /// unit packets, uniform per-channel buffering.
 [[nodiscard]] SimParams torus(std::int32_t k, std::int32_t n, std::int32_t c,
                               std::int32_t buf_packets = 16);
+
+/// Overlay helper: permanent failure of `fraction` of the links of
+/// `link_class` ("any"|"local"|"global") from cycle `onset` on `base`.
+[[nodiscard]] SimParams with_link_faults(SimParams base, double fraction,
+                                         const std::string& link_class = "any",
+                                         Cycle onset = 0);
 
 }  // namespace presets
 

@@ -108,6 +108,25 @@ void apply_param(SimParams& p, const std::string& key,
   if (key == "traffic.burst_len") { p.traffic.burst_len = to_f64(key, value); return; }
   if (key == "traffic.trace_path") { p.traffic.trace_path = value; p.traffic.kind = TrafficKind::kTrace; return; }
   if (key == "traffic.inorder_fraction") { p.traffic.inorder_fraction = to_f64(key, value); return; }
+  // Fault schedule (src/fault/fault_model.hpp)
+  if (key == "fault.enabled") { p.fault.enabled = to_bool(key, value); return; }
+  if (key == "fault.seed") { p.fault.seed = static_cast<std::uint64_t>(to_i32(key, value)); return; }
+  if (key == "fault.onset") { p.fault.onset = to_i32(key, value); return; }
+  if (key == "fault.link_fail_fraction") { p.fault.link_fail_fraction = to_f64(key, value); return; }
+  if (key == "fault.link_class") {
+    if (value != "any" && value != "local" && value != "global") {
+      throw std::invalid_argument("config: bad fault.link_class '" + value +
+                                  "' (expected any|local|global)");
+    }
+    p.fault.link_class = value;
+    return;
+  }
+  if (key == "fault.flap_period") { p.fault.flap_period = to_i32(key, value); return; }
+  if (key == "fault.flap_down") { p.fault.flap_down = to_i32(key, value); return; }
+  if (key == "fault.router_fail_fraction") { p.fault.router_fail_fraction = to_f64(key, value); return; }
+  if (key == "fault.degrade_fraction") { p.fault.degrade_fraction = to_f64(key, value); return; }
+  if (key == "fault.degrade_latency") { p.fault.degrade_latency = to_i32(key, value); return; }
+  if (key == "fault.hop_cap") { p.fault.hop_cap = to_i32(key, value); return; }
   // Top level
   if (key == "packet_size_phits") { p.packet_size_phits = to_i32(key, value); return; }
   if (key == "seed") { p.seed = static_cast<std::uint64_t>(to_i32(key, value)); return; }

@@ -146,7 +146,7 @@ bool DragonflyTopology::sample_nonmin(Rng& rng, RouterId r, NodeId dst,
                 rng.next_below(static_cast<std::uint64_t>(channels)));
   if (j == jmin) return false;
   fill_candidate(r, j, out);
-  return true;
+  return candidate_usable(r, out);
 }
 
 bool DragonflyTopology::nonmin_candidate_at(RouterId r, NodeId dst,
@@ -157,7 +157,7 @@ bool DragonflyTopology::nonmin_candidate_at(RouterId r, NodeId dst,
       own_router_only ? local_index(r) * params_.h + index : index;
   if (j == min_channel(r, dst)) return false;
   fill_candidate(r, j, out);
-  return true;
+  return candidate_usable(r, out);
 }
 
 bool DragonflyTopology::sample_valiant(Rng& rng, RouterId r, NodeId dst,
@@ -168,7 +168,32 @@ bool DragonflyTopology::sample_valiant(Rng& rng, RouterId r, NodeId dst,
       rng.next_below(static_cast<std::uint64_t>(channels - 1)));
   if (j >= jmin) ++j;
   fill_candidate(r, j, out);
-  return true;
+  return candidate_usable(r, out);
+}
+
+PortIndex DragonflyTopology::fallback_output(RouterId r, RouterId /*target*/,
+                                             PortIndex avoid) const {
+  // A dead global link has no minimal replacement (one link per group
+  // pair), but any other live global port reaches a group that still has
+  // its own link toward the destination group; a dead local hop detours via
+  // another local router, which — groups being fully connected — keeps a
+  // direct link to the gateway. So prefer same-class alternatives, scanning
+  // cyclically from just past the dead port so rerouted traffic spreads
+  // instead of re-converging on one substitute.
+  const std::int32_t a = params_.a;
+  const std::int32_t fwd = forward_ports();
+  const bool global_dead = avoid >= a - 1;
+  const PortIndex lo = global_dead ? a - 1 : 0;
+  const PortIndex hi = global_dead ? fwd : a - 1;
+  const std::int32_t span = hi - lo;
+  for (std::int32_t i = 1; i < span; ++i) {
+    const PortIndex p = lo + static_cast<PortIndex>((avoid - lo + i) % span);
+    if (link_up(r, p)) return p;
+  }
+  for (PortIndex p = 0; p < fwd; ++p) {
+    if (p != avoid && link_up(r, p)) return p;
+  }
+  return kInvalidPort;
 }
 
 HopEstimate DragonflyTopology::min_hops(RouterId r, RouterId dr) const {

@@ -166,6 +166,11 @@ class DragonflyTopology final : public Topology {
 
   [[nodiscard]] TrafficTopologyInfo traffic_info() const override;
 
+  /// Same-class-first fallback: other global ports for a dead global link,
+  /// other local routers for a dead local hop.
+  [[nodiscard]] PortIndex fallback_output(RouterId r, RouterId target,
+                                          PortIndex avoid) const override;
+
   // --- dragonfly-specific helpers (tests, micro benches, ECtN math) -------
 
   /// Next output port on the minimal route toward router `dr` (kInvalidPort

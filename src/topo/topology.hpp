@@ -84,6 +84,20 @@ struct EctnSlot {
   std::int32_t channel = -1;  // snapshot column (dragonfly: a*h channel id)
 };
 
+/// Current link-health view consumed by topology candidate filtering and by
+/// the engine's routing fallback. Implemented by fault/LinkHealthMap; the
+/// engine refreshes the concrete map at fault-event cycles, so queries carry
+/// no time argument and stay O(1) flat-array loads on the hot path.
+class LinkHealth {
+ public:
+  virtual ~LinkHealth() = default;
+  /// False while the directed link out of (r, port) is down.
+  [[nodiscard]] virtual bool link_up(RouterId r, PortIndex port) const = 0;
+  /// Extra serialization latency (cycles) currently imposed on (r, port).
+  [[nodiscard]] virtual std::int32_t extra_latency(RouterId r,
+                                                   PortIndex port) const = 0;
+};
+
 class Topology {
  public:
   virtual ~Topology() = default;
@@ -238,6 +252,45 @@ class Topology {
   // --- traffic grouping
   [[nodiscard]] virtual TrafficTopologyInfo traffic_info() const = 0;
 
+  // --- fault overlay
+  /// Attach (or detach with nullptr) the link-health view consulted by the
+  /// candidate filters and fallback routing. Never attached when faults are
+  /// disabled, so the null check below is the only healthy-path cost.
+  void attach_link_health(const LinkHealth* health) { health_ = health; }
+  [[nodiscard]] const LinkHealth* link_health() const { return health_; }
+  /// True when the directed link (r, port) is currently usable.
+  [[nodiscard]] bool link_up(RouterId r, PortIndex port) const {
+    return health_ == nullptr || health_->link_up(r, port);
+  }
+  /// True when every link the candidate commits to up front is usable: the
+  /// first hop at the deciding router and — for via_port >= 0 candidates —
+  /// the phase-ending output at the intermediate router.
+  [[nodiscard]] bool candidate_usable(RouterId r,
+                                      const NonminCandidate& c) const {
+    if (health_ == nullptr) return true;
+    if (c.first_hop >= 0 && !health_->link_up(r, c.first_hop)) return false;
+    if (c.via_port >= 0 && c.inter != r &&
+        !health_->link_up(c.inter, c.via_port)) {
+      return false;
+    }
+    return true;
+  }
+  /// Alternative output at `r` toward router `target` when the preferred
+  /// output `avoid` is down; kInvalidPort when every forward link of `r` is
+  /// down. Deterministic (no RNG): the engine may re-evaluate it every cycle
+  /// for a blocked head. The base version scans cyclically from `avoid`;
+  /// subclasses override with class-aware preferences.
+  [[nodiscard]] virtual PortIndex fallback_output(RouterId r, RouterId target,
+                                                  PortIndex avoid) const {
+    (void)target;
+    const std::int32_t fwd = forward_ports();
+    for (std::int32_t i = 1; i < fwd; ++i) {
+      const PortIndex p = static_cast<PortIndex>((avoid + i) % fwd);
+      if (link_up(r, p)) return p;
+    }
+    return kInvalidPort;
+  }
+
  protected:
   /// Subclasses fill the shape once in their constructor.
   void set_shape(std::int32_t routers, std::int32_t forward_ports,
@@ -253,6 +306,7 @@ class Topology {
   std::int32_t nodes_ = 0;
   std::int32_t forward_ports_ = 0;
   std::int32_t concentration_ = 0;
+  const LinkHealth* health_ = nullptr;
 };
 
 }  // namespace dfsim

@@ -56,7 +56,7 @@ bool TorusTopology::make_candidate(RouterId r, RouterId inter,
   out.inter = inter;
   out.via_port = -1;  // phase 0 ends on arrival at the intermediate
   out.first_hop = route_toward(r, inter);
-  return true;
+  return candidate_usable(r, out);
 }
 
 bool TorusTopology::sample_nonmin(Rng& rng, RouterId r, NodeId dst,
@@ -86,9 +86,37 @@ bool TorusTopology::sample_valiant(Rng& rng, RouterId r, NodeId dst,
   for (std::int32_t attempt = 0; attempt < 8; ++attempt) {
     const auto inter = static_cast<RouterId>(
         rng.next_below(static_cast<std::uint64_t>(routers())));
-    if (inter != r && inter != dr) return make_candidate(r, inter, out);
+    // With faults attached a drawn candidate may be unusable; keep trying
+    // within the attempt budget (draw-for-draw identical when healthy).
+    if (inter != r && inter != dr && make_candidate(r, inter, out)) {
+      return true;
+    }
   }
   return false;
+}
+
+PortIndex TorusTopology::fallback_output(RouterId r, RouterId target,
+                                         PortIndex avoid) const {
+  // The opposite direction of the blocked ring first (the long way round
+  // that dimension), then the preferred direction of any other unresolved
+  // dimension, then anything live. DOR is memoryless, so a detour can
+  // ping-pong in pathological cut sets; the engine's hop cap bounds that.
+  const PortIndex opposite = avoid ^ 1;
+  if (link_up(r, opposite)) return opposite;
+  const std::int32_t k = params_.k;
+  for (std::int32_t dim = 0; dim < params_.n; ++dim) {
+    const std::int32_t cr = coord(r, dim);
+    const std::int32_t ct = coord(target, dim);
+    if (cr == ct) continue;
+    const std::int32_t plus = ((ct - cr) % k + k) % k;
+    const PortIndex pref = plus <= k - plus ? dim * 2 : dim * 2 + 1;
+    if (pref != avoid && link_up(r, pref)) return pref;
+    if ((pref ^ 1) != avoid && link_up(r, pref ^ 1)) return pref ^ 1;
+  }
+  for (PortIndex p = 0; p < forward_ports(); ++p) {
+    if (p != avoid && link_up(r, p)) return p;
+  }
+  return kInvalidPort;
 }
 
 bool TorusTopology::min_link_probe(RouterId r, NodeId dst,

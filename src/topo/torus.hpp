@@ -128,6 +128,10 @@ class TorusTopology final : public Topology {
 
   [[nodiscard]] TrafficTopologyInfo traffic_info() const override;
 
+  /// Opposite ring direction first, then other unresolved dimensions.
+  [[nodiscard]] PortIndex fallback_output(RouterId r, RouterId target,
+                                          PortIndex avoid) const override;
+
  private:
   [[nodiscard]] std::int32_t crossed_after(RouterId r, PortIndex out,
                                            std::int8_t vc_state) const {

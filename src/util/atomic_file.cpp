@@ -1,0 +1,32 @@
+#include "util/atomic_file.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace dfsim {
+
+void write_file_atomic(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("cannot write " + tmp);
+    }
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw std::runtime_error("short write to " + tmp);
+    }
+  }
+  // POSIX rename within one directory is atomic: readers observe either the
+  // old file or the complete new one, never a partial write.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("cannot rename " + tmp + " -> " + path);
+  }
+}
+
+}  // namespace dfsim

@@ -1,0 +1,15 @@
+// Crash-safe whole-file writes for result artifacts.
+#pragma once
+
+#include <string>
+
+namespace dfsim {
+
+/// Writes `text` to `path` atomically: the content goes to a sibling
+/// temporary file (`path` + ".tmp") which is renamed over `path` only after
+/// a successful flush and close, so an interrupted or killed writer never
+/// leaves a truncated or partially written file at `path`. Throws
+/// std::runtime_error on any I/O failure (the temporary is removed).
+void write_file_atomic(const std::string& path, const std::string& text);
+
+}  // namespace dfsim

@@ -26,6 +26,7 @@
 #include "report/render.hpp"
 #include "sim/config_io.hpp"
 #include "traffic/trace.hpp"
+#include "util/atomic_file.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -205,10 +206,10 @@ RunContext make_context(const CliOptions& cli) {
   return ctx;
 }
 
+/// Crash-safe emission: a killed or crashing run must never leave a
+/// truncated JSON/CSV/RESULTS.md behind for `check`/`render` to trip over.
 void write_file(const std::filesystem::path& path, const std::string& text) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("cannot write " + path.string());
-  out << text;
+  write_file_atomic(path.string(), text);
 }
 
 ResultsDoc load_doc(const std::filesystem::path& path) {

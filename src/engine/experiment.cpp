@@ -14,9 +14,11 @@ namespace {
 /// Chunked stepping is bit-exact with one long run — run(a); run(b) is
 /// identical to run(a + b) — so healthy results are unchanged by the window.
 bool run_guarded(Simulator& sim, Cycle cycles, Cycle window,
-                 double wall_limit_s) {
+                 double wall_limit_s,
+                 const std::function<void(Cycle, std::int64_t, double)>&
+                     heartbeat = nullptr) {
   if (cycles <= 0) return true;
-  if (window <= 0 && wall_limit_s <= 0.0) {
+  if (window <= 0 && wall_limit_s <= 0.0 && !heartbeat) {
     sim.run(cycles);
     return true;
   }
@@ -27,17 +29,18 @@ bool run_guarded(Simulator& sim, Cycle cycles, Cycle window,
     const Cycle step = remaining < chunk ? remaining : chunk;
     const std::int64_t delivered_before = sim.lifetime_totals().delivered;
     sim.run(step);
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    if (heartbeat) {
+      heartbeat(sim.now(), sim.lifetime_totals().delivered, elapsed.count());
+    }
     if (window > 0 && step == chunk &&
         sim.lifetime_totals().delivered == delivered_before &&
         sim.packets_in_network() > 0) {
       return false;  // a full window with live packets but zero progress
     }
     remaining -= step;
-    if (wall_limit_s > 0.0) {
-      const std::chrono::duration<double> elapsed =
-          std::chrono::steady_clock::now() - start;
-      if (elapsed.count() > wall_limit_s) return false;
-    }
+    if (wall_limit_s > 0.0 && elapsed.count() > wall_limit_s) return false;
   }
   return true;
 }
@@ -58,11 +61,11 @@ SteadyResult run_steady(const SimParams& params, const SteadyOptions& options) {
     p.seed = params.seed + static_cast<std::uint64_t>(rep) * 7919u;
     Simulator sim(p);
     bool ok = run_guarded(sim, options.warmup, options.progress_window,
-                          options.wall_limit_s);
+                          options.wall_limit_s, options.heartbeat);
     sim.begin_measurement();
     if (ok) {
       ok = run_guarded(sim, options.measure, options.progress_window,
-                       options.wall_limit_s);
+                       options.wall_limit_s, options.heartbeat);
     }
     if (!ok) acc.timed_out += 1.0;
 
@@ -119,7 +122,8 @@ TransientResult::TransientResult(Cycle pre, Cycle post)
       post_(post),
       count_(static_cast<std::size_t>(pre + post), 0),
       misrouted_(static_cast<std::size_t>(pre + post), 0),
-      latency_sum_(static_cast<std::size_t>(pre + post), 0.0) {}
+      latency_sum_(static_cast<std::size_t>(pre + post), 0.0),
+      hist_(static_cast<std::size_t>(pre + post)) {}
 
 void TransientResult::record(Cycle birth_rel, Cycle latency, bool misrouted) {
   if (birth_rel < -pre_ || birth_rel >= post_) return;
@@ -127,6 +131,7 @@ void TransientResult::record(Cycle birth_rel, Cycle latency, bool misrouted) {
   ++count_[i];
   if (misrouted) ++misrouted_[i];
   latency_sum_[i] += static_cast<double>(latency);
+  hist_[i].add(latency);
 }
 
 double TransientResult::latency_at(Cycle t, Cycle window) const {
@@ -140,6 +145,15 @@ double TransientResult::latency_at(Cycle t, Cycle window) const {
     sum += latency_sum_[index(c)];
   }
   return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+double TransientResult::latency_p99_at(Cycle t, Cycle window) const {
+  const Cycle half = window / 2;
+  const Cycle lo = std::max<Cycle>(-pre_, t - half);
+  const Cycle hi = std::min<Cycle>(post_, t - half + std::max<Cycle>(1, window));
+  LatencyHistogram merged;
+  for (Cycle c = lo; c < hi; ++c) merged.merge(hist_[index(c)]);
+  return merged.total() > 0 ? merged.quantile(0.99) : 0.0;
 }
 
 double TransientResult::misrouted_pct_at(Cycle t, Cycle window) const {
@@ -166,17 +180,18 @@ TransientResult run_transient(const SimParams& params,
     p.traffic = options.before;
     Simulator sim(p);
     bool ok = run_guarded(sim, options.warmup, options.progress_window,
-                          options.wall_limit_s);
+                          options.wall_limit_s, options.heartbeat);
     sim.enable_delivery_log();
     if (ok) {
       ok = run_guarded(sim, options.pre, options.progress_window,
-                       options.wall_limit_s);
+                       options.wall_limit_s, options.heartbeat);
     }
     const Cycle switch_cycle = sim.now();
     sim.set_traffic(options.after);
     if (ok) {
       ok = run_guarded(sim, options.post + options.drain,
-                       options.progress_window, options.wall_limit_s);
+                       options.progress_window, options.wall_limit_s,
+                       options.heartbeat);
     }
     if (!ok) result.mark_timed_out();
 

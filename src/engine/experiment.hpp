@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "engine/simulator.hpp"
@@ -25,6 +26,11 @@ struct SteadyOptions {
   /// Optional wall-clock cap per rep in seconds; 0 disables. CI backstop
   /// only — tripping it makes results machine-dependent.
   double wall_limit_s = 0.0;
+  /// Optional progress heartbeat, invoked after every watchdog chunk with
+  /// the sim's current cycle, lifetime deliveries, and wall seconds elapsed
+  /// in the current guarded run. Purely observational — results are
+  /// bit-exact with and without it. Null disables.
+  std::function<void(Cycle, std::int64_t, double)> heartbeat;
 };
 
 struct SteadyResult {
@@ -73,6 +79,8 @@ struct TransientOptions {
   /// No-progress watchdog (see SteadyOptions::progress_window).
   Cycle progress_window = 50000;
   double wall_limit_s = 0.0;
+  /// Progress heartbeat (see SteadyOptions::heartbeat).
+  std::function<void(Cycle, std::int64_t, double)> heartbeat;
 };
 
 class TransientResult {
@@ -81,6 +89,10 @@ class TransientResult {
 
   /// Mean latency of packets born in [t - window/2, t + window/2).
   [[nodiscard]] double latency_at(Cycle t, Cycle window) const;
+  /// p99 latency of packets born in the same window, read from per-interval
+  /// log2-bucketed histograms — the transient tail spike around a traffic
+  /// switch is much larger than the mean spike and invisible without it.
+  [[nodiscard]] double latency_p99_at(Cycle t, Cycle window) const;
   /// Percentage of globally misrouted packets born in the same window.
   [[nodiscard]] double misrouted_pct_at(Cycle t, Cycle window) const;
 
@@ -104,6 +116,7 @@ class TransientResult {
   std::vector<std::int64_t> count_;
   std::vector<std::int64_t> misrouted_;
   std::vector<double> latency_sum_;
+  std::vector<LatencyHistogram> hist_;  // per birth-cycle bucket
 };
 
 [[nodiscard]] TransientResult run_transient(const SimParams& params,

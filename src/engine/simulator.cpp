@@ -52,6 +52,22 @@ Simulator::Simulator(const SimParams& params,
 
   build_layout();
 
+  if (params_.telemetry.enabled) {
+    telemetry_on_ = true;
+    sink_.configure(topo_.routers(), radix_, fwd_,
+                    std::max<Cycle>(1, params_.telemetry.sample_period),
+                    std::max<std::int32_t>(1, params_.telemetry.max_samples));
+    // First frame closes at the end of the first sample period.
+    telemetry_next_sample_ = sink_.sample_period() - 1;
+  }
+  if (params_.trace.enabled) {
+    // Sized to the pool's structural bound (set by build_layout's reserve):
+    // every live packet id indexes the tracer's slot map directly.
+    trace_on_ = true;
+    tracer_.configure(params_.trace, params_.seed,
+                      slab_.size() + ring_slab_.size());
+  }
+
   if (params_.routing.kind == RoutingKind::kCbEctn) {
     if (!topo_.supports_ectn()) {
       throw std::invalid_argument(
@@ -255,6 +271,11 @@ void Simulator::on_new_head(std::int32_t q) {
     pool_.g_hops[pi] = topo_.phase_end_state(pool_.g_hops[pi]);
   }
 
+  if (trace_on_) {
+    tracer_.record_hop(now_, packet, r, telemetry::TraceEvent::kQueueHead,
+                       static_cast<std::uint8_t>(ip));
+  }
+
   if (ip >= fwd_ &&
       !(pool_.flags[pi] & PacketPool::kRouted)) {
     decide_injection(r, packet);
@@ -263,7 +284,7 @@ void Simulator::on_new_head(std::int32_t q) {
 
   const PortIndex counted = topo_.minimal_output(r, pool_.dst[pi]);
   q_counted_[qi] = static_cast<std::int16_t>(counted);
-  q_request_[qi] = static_cast<std::int16_t>(route_output(r, packet));
+  q_request_[qi] = static_cast<std::int16_t>(routed_output(r, packet));
   q_wait_[qi] = 0;
   counters_.on_head(flat_port(r, counted));
 }
@@ -288,6 +309,27 @@ PortIndex Simulator::route_output(RouterId r, std::int32_t packet) const {
     // blocked head may re-evaluate this every cycle). kInvalidPort when
     // every forward link of `r` is down.
     out = topo_.fallback_output(r, target, out);
+  }
+  return out;
+}
+
+PortIndex Simulator::routed_output(RouterId r, std::int32_t packet) {
+  const PortIndex out = route_output(r, packet);
+  if (telemetry_on_ && fault_on_ && out >= 0) {
+    // Re-derive the healthy-path preference; route_output only diverges
+    // from it when it fell back around a dead link.
+    const auto pi = static_cast<std::size_t>(packet);
+    PortIndex pref;
+    if (pool_.flags[pi] & PacketPool::kPhase0) {
+      const RouterId target = pool_.target_router[pi];
+      pref = r == target ? static_cast<PortIndex>(pool_.via_port[pi])
+                         : topo_.route_toward(r, target);
+    } else {
+      pref = topo_.minimal_output(r, pool_.dst[pi]);
+    }
+    if (pref != out) {
+      sink_.count_misroute(r, telemetry::MisrouteCause::kFaultFallback);
+    }
   }
   return out;
 }
@@ -454,6 +496,7 @@ void Simulator::decide_injection(RouterId r, std::int32_t packet) {
       NonminCandidate cand;
       if (topo_.sample_valiant(rng_, r, d, cand)) {
         apply_global_misroute(packet, cand);
+        note_misroute(r, packet, telemetry::MisrouteCause::kValiant);
       }
       return;
     }
@@ -464,6 +507,7 @@ void Simulator::decide_injection(RouterId r, std::int32_t packet) {
           ugal_prefers_misroute(r, packet, cand,
                                 kind == RoutingKind::kUgalG)) {
         apply_global_misroute(packet, cand);
+        note_misroute(r, packet, telemetry::MisrouteCause::kUgal);
       }
       return;
     }
@@ -479,6 +523,7 @@ void Simulator::decide_injection(RouterId r, std::int32_t packet) {
       if (pick_misroute_channel(r, d, false, true, cand) &&
           (min_congested || ugal_prefers_misroute(r, packet, cand, false))) {
         apply_global_misroute(packet, cand);
+        note_misroute(r, packet, telemetry::MisrouteCause::kUgal);
       }
       return;
     }
@@ -565,7 +610,13 @@ void Simulator::maybe_transit_misroute(RouterId r, std::int32_t q,
   if (!pick_misroute_channel(r, d, use_snapshot, use_occupancy, cand)) return;
   apply_global_misroute(packet, cand);
   q_request_[static_cast<std::size_t>(q)] =
-      static_cast<std::int16_t>(route_output(r, packet));
+      static_cast<std::int16_t>(routed_output(r, packet));
+  if (telemetry_on_ || trace_on_) {
+    note_misroute(r, packet,
+                  r == topo_.router_of_node(pool_.src[pi])
+                      ? telemetry::MisrouteCause::kTrigger
+                      : telemetry::MisrouteCause::kInTransit);
+  }
 }
 
 void Simulator::maybe_local_detour(RouterId r, std::int32_t q) {
@@ -606,6 +657,7 @@ void Simulator::maybe_local_detour(RouterId r, std::int32_t q) {
     }
     q_request_[qi] = static_cast<std::int16_t>(ap);
     pool_.flags[pi] |= PacketPool::kMisLocal | PacketPool::kDetoured;
+    note_misroute(r, packet, telemetry::MisrouteCause::kLocalDetour);
     return;
   }
 }
@@ -651,6 +703,12 @@ void Simulator::deliver_arrivals() {
           ring_offset_[l] + ring_head_[l])];
       link_heap_push(link_key(next.arrival, static_cast<std::int32_t>(l)));
     }
+    if (trace_on_) {
+      tracer_.record_hop(now_, ev.packet, ev.down_queue / (radix_ * vmax_),
+                         telemetry::TraceEvent::kLinkArrive,
+                         static_cast<std::uint8_t>((ev.down_queue / vmax_) %
+                                                   radix_));
+    }
     push_queue(ev.down_queue, ev.packet);
   }
 }
@@ -670,6 +728,7 @@ void Simulator::inject_traffic() {
     if (q_free_[static_cast<std::size_t>(q)] <= 0) {
       ++metrics_.refused;
       ++totals_.refused;
+      if (telemetry_on_) sink_.count_refusal(r);
       continue;
     }
 
@@ -679,6 +738,8 @@ void Simulator::inject_traffic() {
     pool_.src[pi] = inj.src;
     pool_.dst[pi] = inj.dst;
     pool_.birth[pi] = now_;
+    if (telemetry_on_) sink_.count_injection(r);
+    if (trace_on_) tracer_.on_inject(now_, packet, r, inj.dst);
     if (params_.traffic.inorder_fraction > 0.0 &&
         rng_.next_bool(params_.traffic.inorder_fraction)) {
       pool_.flags[pi] |= PacketPool::kInorder;
@@ -737,7 +798,7 @@ void Simulator::route_and_allocate() {
             // adaptive mechanisms divert the packet.
             const std::int32_t packet = slab_[static_cast<std::size_t>(
                 q_offset_[qi] + q_head_[qi])];
-            out = route_output(r, packet);
+            out = routed_output(r, packet);
             q_request_[qi] = static_cast<std::int16_t>(out);
             if (out < 0) continue;
           }
@@ -749,6 +810,7 @@ void Simulator::route_and_allocate() {
             const VcIndex vcn = vc_for(r, out, packet);
             if (q_free_[static_cast<std::size_t>(down_queue_base_[flat] +
                                                  vcn)] <= 0) {
+              if (telemetry_on_) sink_.count_credit_stall(r);
               continue;
             }
           }
@@ -796,10 +858,21 @@ void Simulator::depart(RouterId r, const AllocGrant& grant) {
       // length; drop rather than circulate forever.
       ++metrics_.undeliverable;
       ++totals_.undeliverable;
+      if (telemetry_on_) sink_.count_undeliverable();
+      if (trace_on_) {
+        tracer_.close(now_, packet, r, telemetry::TraceEvent::kDrop);
+      }
       pool_.release(packet);
       return;
     }
     pool_.hops[pi] = static_cast<std::uint16_t>(pool_.hops[pi] + 1);
+  }
+  if (telemetry_on_) {
+    sink_.count_link_departure(static_cast<std::int32_t>(flat));
+  }
+  if (trace_on_) {
+    tracer_.record_hop(now_, packet, r, telemetry::TraceEvent::kLinkDepart,
+                       static_cast<std::uint8_t>(out));
   }
   const VcIndex vcn = vc_for(r, out, packet);  // pre-transition state
   const std::int32_t down = down_queue_base_[flat] + vcn;
@@ -830,7 +903,6 @@ void Simulator::depart(RouterId r, const AllocGrant& grant) {
 }
 
 void Simulator::deliver(RouterId r, std::int32_t packet) {
-  (void)r;
   const auto pi = static_cast<std::size_t>(packet);
   const Cycle latency =
       now_ + params_.router.pipeline_cycles + psize_ - pool_.birth[pi];
@@ -851,6 +923,11 @@ void Simulator::deliver(RouterId r, std::int32_t packet) {
     if (deliveries_.size() == deliveries_.capacity()) ++log_growth_;
     deliveries_.push_back(Delivery{pool_.birth[pi], latency, mis_global,
                                    !mis_global && !mis_local});
+  }
+  if (telemetry_on_) sink_.count_delivery(r);
+  if (trace_on_) {
+    tracer_.close(now_, packet, r, telemetry::TraceEvent::kDeliver,
+                  static_cast<std::uint32_t>(latency));
   }
   pool_.release(packet);
 }
@@ -874,6 +951,7 @@ void Simulator::update_ectn() {
     if (ectn_monitor_enabled_) {
       ectn_monitor_.on_update(r, ectn_scratch_.data());
     }
+    if (telemetry_on_) sink_.count_ectn_update();
   }
 }
 
@@ -899,6 +977,13 @@ void Simulator::advance_faults() {
       ++q_free_[static_cast<std::size_t>(ev.down_queue)];
       ++metrics_.dropped;
       ++totals_.dropped;
+      if (telemetry_on_) sink_.count_drop();
+      if (trace_on_) {
+        tracer_.close(now_, ev.packet,
+                      static_cast<RouterId>(l / static_cast<std::size_t>(
+                                                    radix_)),
+                      telemetry::TraceEvent::kDrop);
+      }
       pool_.release(ev.packet);
       ring_head_[l] = (ring_head_[l] + 1) % ring_cap_[l];
       --ring_count_[l];
@@ -919,12 +1004,72 @@ void Simulator::advance_faults() {
 }
 
 void Simulator::step() {
+  if (profile_on_) {
+    step_profiled();
+    return;
+  }
   if (fault_on_ && now_ == fault_next_event_) advance_faults();
   deliver_arrivals();
   inject_traffic();
   update_ectn();
   route_and_allocate();
+  if (telemetry_on_ && now_ == telemetry_next_sample_) flush_telemetry();
   ++now_;
+}
+
+void Simulator::step_profiled() {
+  // Same phase sequence as step(), with steady_clock stamps between phases.
+  // Timing never feeds back into simulation state, so a profiled run stays
+  // bit-exact with an unprofiled one.
+  using Clock = telemetry::PhaseProfiler::Clock;
+  const Clock::time_point t0 = Clock::now();
+  if (fault_on_ && now_ == fault_next_event_) advance_faults();
+  const Clock::time_point t1 = Clock::now();
+  profiler_.add(telemetry::Phase::kFaults, t0, t1);
+  deliver_arrivals();
+  const Clock::time_point t2 = Clock::now();
+  profiler_.add(telemetry::Phase::kDeliver, t1, t2);
+  inject_traffic();
+  const Clock::time_point t3 = Clock::now();
+  profiler_.add(telemetry::Phase::kInject, t2, t3);
+  update_ectn();
+  const Clock::time_point t4 = Clock::now();
+  profiler_.add(telemetry::Phase::kEctn, t3, t4);
+  route_and_allocate();
+  const Clock::time_point t5 = Clock::now();
+  profiler_.add(telemetry::Phase::kRoute, t4, t5);
+  if (telemetry_on_ && now_ == telemetry_next_sample_) flush_telemetry();
+  profiler_.add(telemetry::Phase::kTelemetry, t5, Clock::now());
+  profiler_.add_cycle();
+  ++now_;
+}
+
+void Simulator::flush_telemetry() {
+  const std::int32_t routers = topo_.routers();
+  const std::int32_t queues_per_router = radix_ * vmax_;
+  for (RouterId r = 0; r < routers; ++r) {
+    std::int32_t occupied = 0;
+    const std::int32_t q0 = r * queues_per_router;
+    for (std::int32_t i = 0; i < queues_per_router; ++i) {
+      occupied += q_size_[static_cast<std::size_t>(q0 + i)];
+    }
+    sink_.set_gauge_occupancy(r, occupied);
+    for (PortIndex port = 0; port < fwd_; ++port) {
+      const std::int32_t flat = flat_port(r, port);
+      sink_.set_gauge_counter(flat, counters_.value(flat));
+    }
+  }
+  if (fault_on_) {
+    std::int32_t down = 0;
+    for (RouterId r = 0; r < routers; ++r) {
+      for (PortIndex port = 0; port < fwd_; ++port) {
+        if (!health_.link_up(r, port)) ++down;
+      }
+    }
+    sink_.set_links_down(down);
+  }
+  sink_.commit_frame(now_);
+  telemetry_next_sample_ = now_ + sink_.sample_period();
 }
 
 void Simulator::run(Cycle cycles) {

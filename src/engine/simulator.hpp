@@ -55,6 +55,9 @@
 #include "fault/fault_model.hpp"
 #include "router/allocator.hpp"
 #include "sim/config.hpp"
+#include "telemetry/packet_trace.hpp"
+#include "telemetry/phase_profiler.hpp"
+#include "telemetry/telemetry_sink.hpp"
 #include "topo/topology.hpp"
 #include "traffic/model.hpp"
 #include "util/histogram.hpp"
@@ -183,6 +186,33 @@ class Simulator {
     return ectn_monitor_;
   }
 
+  /// Spatial telemetry frames (params.telemetry.enabled): per-router /
+  /// per-link counters sampled every telemetry.sample_period cycles. See
+  /// src/telemetry/telemetry_sink.hpp and telemetry/heatmap.hpp.
+  [[nodiscard]] bool telemetry_enabled() const { return telemetry_on_; }
+  [[nodiscard]] const telemetry::TelemetrySink& telemetry_sink() const {
+    return sink_;
+  }
+
+  /// Packet-lifecycle tracing (params.trace.enabled): deterministically
+  /// sampled per-packet event records, exported via
+  /// telemetry/packet_trace.hpp's binary and Chrome trace-event writers.
+  [[nodiscard]] bool trace_enabled() const { return trace_on_; }
+  [[nodiscard]] const telemetry::PacketTracer& packet_tracer() const {
+    return tracer_;
+  }
+
+  /// Per-phase wall-time profiling (dfsim_run perf --phases). API-enabled
+  /// like the ECtN monitor: wall time never affects results, so there is no
+  /// config key and the config hash is untouched.
+  void enable_phase_profiler() {
+    profile_on_ = true;
+    profiler_.reset();
+  }
+  [[nodiscard]] const telemetry::PhaseProfiler& phase_profiler() const {
+    return profiler_;
+  }
+
   /// Growth/allocation events since construction (pool growth, calendar or
   /// log growth). Constant across steps == steady state allocates nothing.
   [[nodiscard]] std::int64_t allocation_events() const;
@@ -246,9 +276,33 @@ class Simulator {
   void link_heap_push(std::uint64_t key);
   std::uint64_t link_heap_pop();
 
+  // --- observability (every call site is gated behind telemetry_on_ /
+  // trace_on_ / profile_on_, so disabled runs take predicted-false branches
+  // only — the bit-exactness and zero-alloc invariants hold with the layer
+  // compiled in)
+  /// Gauge scan (queue occupancy, counter values, down links) + frame
+  /// commit at the end of a sample period. Cold path, off the inner loops.
+  void flush_telemetry();
+  /// step() body with steady_clock stamps around each phase.
+  void step_profiled();
+  /// Misroute attribution shared by sink and tracer.
+  void note_misroute(RouterId r, std::int32_t packet,
+                     telemetry::MisrouteCause cause) {
+    if (telemetry_on_) sink_.count_misroute(r, cause);
+    if (trace_on_) {
+      tracer_.record_hop(now_, packet, r,
+                         telemetry::TraceEvent::kRouteDecision,
+                         static_cast<std::uint8_t>(cause));
+    }
+  }
+
   // --- routing
   void decide_injection(RouterId r, std::int32_t packet);
   [[nodiscard]] PortIndex route_output(RouterId r, std::int32_t packet) const;
+  /// route_output plus fault-fallback attribution: when telemetry is on and
+  /// the chosen output differs from the healthy-path preference, the
+  /// divergence is counted as a kFaultFallback misroute.
+  [[nodiscard]] PortIndex routed_output(RouterId r, std::int32_t packet);
   void maybe_local_detour(RouterId r, std::int32_t q);
   void maybe_transit_misroute(RouterId r, std::int32_t q, std::int32_t packet);
   void apply_global_misroute(std::int32_t packet, const NonminCandidate& cand);
@@ -363,6 +417,17 @@ class Simulator {
   LinkHealthMap health_;
   Cycle fault_next_event_ = 0;
   std::int32_t hop_cap_ = 0;
+
+  // --- observability (members inert unless enabled; the engine then takes
+  // no telemetry/trace/profile branches and results are bit-exact with
+  // builds that predate the layer — ARCHITECTURE.md invariant 11)
+  bool telemetry_on_ = false;
+  bool trace_on_ = false;
+  bool profile_on_ = false;
+  Cycle telemetry_next_sample_ = 0;
+  telemetry::TelemetrySink sink_;
+  telemetry::PacketTracer tracer_;
+  telemetry::PhaseProfiler profiler_;
 
   // --- time, traffic, metrics
   Cycle now_ = 0;

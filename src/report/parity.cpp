@@ -357,6 +357,54 @@ void fault_transient_gates(const ResultsDoc& doc,
           " (gate: post >= pre + 1)"));
 }
 
+void congestion_map_gates(const ResultsDoc& doc,
+                          std::vector<GateOutcome>& out) {
+  const Panel* panel = doc.panel("mechanism summary");
+  if (!panel || panel->x_labels.empty()) {
+    out.push_back(
+        skip(doc, "min-concentrates-backlog", "summary panel missing"));
+    return;
+  }
+  // This panel is transposed relative to the figure panels: the x axis
+  // holds the mechanism line-up and there is a single "network" series.
+  const auto col = [&panel](const char* mech) {
+    for (std::size_t xi = 0; xi < panel->x_labels.size(); ++xi) {
+      if (panel->x_labels[xi] == mech) return xi;
+    }
+    return panel->x_labels.size();
+  };
+  const std::size_t min_x = col("MIN");
+  const std::size_t base_x = col("Base");
+  if (min_x >= panel->x_labels.size() || base_x >= panel->x_labels.size()) {
+    out.push_back(
+        skip(doc, "min-concentrates-backlog", "MIN/Base columns missing"));
+    return;
+  }
+  // Under ADV+1 every group queues behind its single direct channel, so
+  // MIN's worst per-group backlog must dwarf the adaptive mechanisms'.
+  // Observed at tiny/seed 1: MIN 479 vs Base 53 phits (9x); the gate's 2x
+  // margin trips when the sink or the adversarial funnel breaks, not on
+  // noise.
+  const double min_peak = cell(*panel, "peak_group_occupancy", min_x, 0);
+  const double base_peak = cell(*panel, "peak_group_occupancy", base_x, 0);
+  out.push_back(outcome(doc, "min-concentrates-backlog",
+                        min_peak >= 2.0 * base_peak,
+                        "peak group occupancy MIN " +
+                            format_fixed(min_peak, 0) + " vs Base " +
+                            format_fixed(base_peak, 0) +
+                            " phits (gate: MIN >= 2x Base)"));
+  // Cross-check the sink against routing semantics: MIN never records a
+  // misroute decision by construction, the counter trigger must record
+  // plenty.
+  const double min_mis = cell(*panel, "misroute_decisions", min_x, 0);
+  const double base_mis = cell(*panel, "misroute_decisions", base_x, 0);
+  out.push_back(outcome(doc, "sink-tracks-misroute-decisions",
+                        min_mis == 0.0 && base_mis > 0.0,
+                        "MIN " + format_fixed(min_mis, 0) + " vs Base " +
+                            format_fixed(base_mis, 0) +
+                            " decisions (gate: MIN exactly 0, Base > 0)"));
+}
+
 }  // namespace
 
 std::vector<GateOutcome> check_trend_gates(const ResultsDoc& doc) {
@@ -369,6 +417,9 @@ std::vector<GateOutcome> check_trend_gates(const ResultsDoc& doc) {
   }
   if (doc.header.experiment == "fault_transient") {
     fault_transient_gates(doc, out);
+  }
+  if (doc.header.experiment == "congestion_map") {
+    congestion_map_gates(doc, out);
   }
   return out;
 }

@@ -160,20 +160,27 @@ Panel run_transient_panel(const std::string& name,
   }
   std::vector<std::vector<double>> latency;
   std::vector<std::vector<double>> misrouted;
+  std::vector<std::vector<double>> p99;
   for (Cycle t = -options.pre; t < options.post; t += step) {
     panel.x_labels.push_back(std::to_string(t));
     panel.x_values.push_back(static_cast<double>(t));
     std::vector<double> lat_row(series.size(), kNaN);
     std::vector<double> mis_row(series.size(), kNaN);
+    std::vector<double> p99_row(series.size(), kNaN);
     for (std::size_t si = 0; si < series.size(); ++si) {
       lat_row[si] = results[si].latency_at(t, window);
       mis_row[si] = results[si].misrouted_pct_at(t, window);
+      p99_row[si] = results[si].latency_p99_at(t, window);
     }
     latency.push_back(std::move(lat_row));
     misrouted.push_back(std::move(mis_row));
+    p99.push_back(std::move(p99_row));
   }
   panel.metrics.emplace_back("latency_avg", std::move(latency));
   panel.metrics.emplace_back("misrouted_pct", std::move(misrouted));
+  // Schema-additive: golden comparison iterates the golden's metric list,
+  // so transient goldens recorded before this column stay valid.
+  panel.metrics.emplace_back("latency_p99", std::move(p99));
   return panel;
 }
 

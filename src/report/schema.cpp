@@ -359,6 +359,21 @@ std::string canonical_params_text(const SimParams& p) {
     i32("fault.degrade_latency", p.fault.degrade_latency);
     i32("fault.hop_cap", p.fault.hop_cap);
   }
+  // Telemetry and tracing follow the fault-axis precedent: observability
+  // knobs only enter the hash when enabled, so hashes of uninstrumented
+  // runs never move when the observability layer grows.
+  if (p.telemetry.enabled) {
+    boolean("telemetry.enabled", true);
+    i32("telemetry.sample_period",
+        static_cast<std::int32_t>(p.telemetry.sample_period));
+    i32("telemetry.max_samples", p.telemetry.max_samples);
+  }
+  if (p.trace.enabled) {
+    boolean("trace.enabled", true);
+    line("trace.seed", std::to_string(p.trace.seed));
+    f64("trace.sample_rate", p.trace.sample_rate);
+    i32("trace.max_events", static_cast<std::int32_t>(p.trace.max_events));
+  }
   return out;
 }
 

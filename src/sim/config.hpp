@@ -177,6 +177,39 @@ struct FaultParams {
   std::int32_t hop_cap = 64;
 };
 
+/// Spatial telemetry (src/telemetry/telemetry_sink.hpp). Disabled by
+/// default; when disabled the engine takes zero telemetry branches and
+/// results (and config hashes — the `telemetry.*` block only enters the
+/// canonical params text when enabled) are bit-exact with builds that
+/// predate the layer.
+struct TelemetryParams {
+  bool enabled = false;
+  /// Cycles between spatial samples. Each sample captures per-router queue
+  /// occupancy and the per-link / per-cause activity accumulated since the
+  /// previous sample.
+  Cycle sample_period = 100;
+  /// Preallocated sample-frame capacity; sampling stops (and the dropped
+  /// count is reported) once exhausted, preserving zero-alloc-after-warmup.
+  /// Per-frame memory scales with routers * radix (~6 bytes per link slot),
+  /// so the default stays modest — raise it together with sample_period for
+  /// long captures.
+  std::int32_t max_samples = 512;
+};
+
+/// Packet-lifecycle tracing (src/telemetry/packet_trace.hpp). Sampling
+/// draws from the tracer's OWN RNG stream, so routing and traffic draws are
+/// untouched and a traced run is bit-identical to an untraced one.
+struct TraceParams {
+  bool enabled = false;
+  /// Sampling seed; 0 derives from the run seed.
+  std::uint64_t seed = 0;
+  /// Per-packet probability of being traced through its whole lifecycle.
+  double sample_rate = 0.01;
+  /// Preallocated event capacity; recording stops (dropped count reported)
+  /// once exhausted.
+  std::int64_t max_events = 1 << 20;
+};
+
 struct SimParams {
   /// Which topology the engine instantiates; `topo` (dragonfly), `fbfly`,
   /// or `torus` supplies the shape accordingly.
@@ -189,6 +222,8 @@ struct SimParams {
   RoutingParams routing;
   TrafficParams traffic;
   FaultParams fault;
+  TelemetryParams telemetry;
+  TraceParams trace;
   std::int32_t packet_size_phits = 8;
   std::uint64_t seed = 1;
 

@@ -127,6 +127,15 @@ void apply_param(SimParams& p, const std::string& key,
   if (key == "fault.degrade_fraction") { p.fault.degrade_fraction = to_f64(key, value); return; }
   if (key == "fault.degrade_latency") { p.fault.degrade_latency = to_i32(key, value); return; }
   if (key == "fault.hop_cap") { p.fault.hop_cap = to_i32(key, value); return; }
+  // Telemetry (src/telemetry/telemetry_sink.hpp)
+  if (key == "telemetry.enabled") { p.telemetry.enabled = to_bool(key, value); return; }
+  if (key == "telemetry.sample_period") { p.telemetry.sample_period = to_i32(key, value); return; }
+  if (key == "telemetry.max_samples") { p.telemetry.max_samples = to_i32(key, value); return; }
+  // Packet tracing (src/telemetry/packet_trace.hpp)
+  if (key == "trace.enabled") { p.trace.enabled = to_bool(key, value); return; }
+  if (key == "trace.seed") { p.trace.seed = static_cast<std::uint64_t>(to_i32(key, value)); return; }
+  if (key == "trace.sample_rate") { p.trace.sample_rate = to_f64(key, value); return; }
+  if (key == "trace.max_events") { p.trace.max_events = to_i32(key, value); return; }
   // Top level
   if (key == "packet_size_phits") { p.packet_size_phits = to_i32(key, value); return; }
   if (key == "seed") { p.seed = static_cast<std::uint64_t>(to_i32(key, value)); return; }

@@ -1,0 +1,234 @@
+#include "telemetry/heatmap.hpp"
+
+#include <string>
+#include <vector>
+
+#include "engine/simulator.hpp"
+#include "telemetry/telemetry_sink.hpp"
+#include "topo/topology.hpp"
+
+namespace dfsim::telemetry {
+
+namespace {
+
+using report::Panel;
+
+Panel make_timeseries_panel(const TelemetrySink& sink, std::string name,
+                            std::vector<std::string> series) {
+  Panel panel;
+  panel.name = std::move(name);
+  panel.kind = Panel::Kind::kTransient;
+  panel.x_label = "cycle";
+  const std::int32_t frames = sink.frames();
+  panel.x_labels.reserve(static_cast<std::size_t>(frames));
+  panel.x_values.reserve(static_cast<std::size_t>(frames));
+  for (std::int32_t f = 0; f < frames; ++f) {
+    const Cycle c = sink.sample_cycle(f);
+    panel.x_labels.push_back(std::to_string(c));
+    panel.x_values.push_back(static_cast<double>(c));
+  }
+  panel.series = std::move(series);
+  return panel;
+}
+
+}  // namespace
+
+report::ResultsDoc build_heatmap_doc(const Simulator& sim,
+                                     const std::string& name,
+                                     const std::string& scale) {
+  const TelemetrySink& sink = sim.telemetry_sink();
+  const SimParams& params = sim.params();
+  const Topology& topo = sim.topology();
+  const std::int32_t frames = sink.frames();
+  const std::int32_t routers = sink.routers();
+  const std::int32_t radix = sink.radix();
+  const std::int32_t fwd = sink.forward_ports();
+  const double period = static_cast<double>(sink.sample_period());
+  const double psize = static_cast<double>(params.packet_size_phits);
+
+  report::ResultsDoc doc;
+  doc.header.experiment = name;
+  doc.header.title = "Spatial telemetry heatmap";
+  doc.header.paper_ref = "Sec. IV (contention observability)";
+  doc.header.topology = to_string(params.topology);
+  doc.header.scale = scale;
+  doc.header.nodes = params.nodes();
+  doc.header.config_hash = report::config_hash(params);
+  doc.header.git_rev = report::current_git_rev();
+  doc.header.seed = params.seed;
+  doc.header.measure = frames > 0
+                           ? sink.sample_cycle(frames - 1) + 1
+                           : Cycle{0};
+
+  // Per-router time-series: one series per router, one x tick per frame.
+  {
+    std::vector<std::string> series;
+    series.reserve(static_cast<std::size_t>(routers));
+    for (std::int32_t r = 0; r < routers; ++r) {
+      series.push_back("r" + std::to_string(r));
+    }
+    Panel panel = make_timeseries_panel(sink, "routers", std::move(series));
+
+    // Count the class split once; utilization normalizes phits sent against
+    // the class's aggregate capacity over the sample period.
+    std::int32_t local_ports = 0;
+    std::int32_t global_ports = 0;
+    for (PortIndex port = 0; port < fwd; ++port) {
+      if (topo.port_class(port) == PortClass::kLocalClass) {
+        ++local_ports;
+      } else {
+        ++global_ports;
+      }
+    }
+
+    auto rows = [&](auto&& cell) {
+      std::vector<std::vector<double>> out;
+      out.reserve(static_cast<std::size_t>(frames));
+      for (std::int32_t f = 0; f < frames; ++f) {
+        std::vector<double> row;
+        row.reserve(static_cast<std::size_t>(routers));
+        for (std::int32_t r = 0; r < routers; ++r) row.push_back(cell(f, r));
+        out.push_back(std::move(row));
+      }
+      return out;
+    };
+
+    panel.metrics.emplace_back("occupancy", rows([&](std::int32_t f, RouterId r) {
+      return static_cast<double>(sink.occupancy(f, r));
+    }));
+    panel.metrics.emplace_back("injections", rows([&](std::int32_t f, RouterId r) {
+      return static_cast<double>(sink.injections(f, r));
+    }));
+    panel.metrics.emplace_back("deliveries", rows([&](std::int32_t f, RouterId r) {
+      return static_cast<double>(sink.deliveries(f, r));
+    }));
+    panel.metrics.emplace_back("credit_stalls",
+                               rows([&](std::int32_t f, RouterId r) {
+      return static_cast<double>(sink.credit_stalls(f, r));
+    }));
+    panel.metrics.emplace_back("misroutes", rows([&](std::int32_t f, RouterId r) {
+      return static_cast<double>(sink.misroutes(f, r));
+    }));
+    auto class_util = [&](std::int32_t f, RouterId r, PortClass cls,
+                          std::int32_t ports) {
+      if (ports == 0) return 0.0;
+      std::int64_t phits = 0;
+      for (PortIndex port = 0; port < fwd; ++port) {
+        if (topo.port_class(port) != cls) continue;
+        phits += sink.link_departures(f, r * radix + port);
+      }
+      return static_cast<double>(phits) * psize / (period * ports);
+    };
+    panel.metrics.emplace_back("local_util", rows([&](std::int32_t f, RouterId r) {
+      return class_util(f, r, PortClass::kLocalClass, local_ports);
+    }));
+    panel.metrics.emplace_back("global_util",
+                               rows([&](std::int32_t f, RouterId r) {
+      return class_util(f, r, PortClass::kGlobalClass, global_ports);
+    }));
+    panel.metrics.emplace_back("max_counter", rows([&](std::int32_t f, RouterId r) {
+      std::int32_t best = 0;
+      for (PortIndex port = 0; port < fwd; ++port) {
+        const std::int32_t v = sink.counter(f, r * radix + port);
+        if (v > best) best = v;
+      }
+      return static_cast<double>(best);
+    }));
+    doc.panels.push_back(std::move(panel));
+  }
+
+  // Misroute decisions bucketed by cause.
+  {
+    std::vector<std::string> series;
+    series.reserve(kMisrouteCauseCount);
+    for (std::int32_t c = 0; c < kMisrouteCauseCount; ++c) {
+      series.push_back(to_string(static_cast<MisrouteCause>(c)));
+    }
+    Panel panel =
+        make_timeseries_panel(sink, "misroute_causes", std::move(series));
+    std::vector<std::vector<double>> rows;
+    rows.reserve(static_cast<std::size_t>(frames));
+    for (std::int32_t f = 0; f < frames; ++f) {
+      std::vector<double> row;
+      row.reserve(kMisrouteCauseCount);
+      for (std::int32_t c = 0; c < kMisrouteCauseCount; ++c) {
+        row.push_back(static_cast<double>(
+            sink.cause_count(f, static_cast<MisrouteCause>(c))));
+      }
+      rows.push_back(std::move(row));
+    }
+    panel.metrics.emplace_back("decisions", std::move(rows));
+    doc.panels.push_back(std::move(panel));
+  }
+
+  // Network-wide counters per frame.
+  {
+    Panel panel = make_timeseries_panel(sink, "network", {"network"});
+    auto column = [&](auto&& cell) {
+      std::vector<std::vector<double>> out;
+      out.reserve(static_cast<std::size_t>(frames));
+      for (std::int32_t f = 0; f < frames; ++f) {
+        out.push_back({cell(f)});
+      }
+      return out;
+    };
+    panel.metrics.emplace_back("link_departures", column([&](std::int32_t f) {
+      std::int64_t sum = 0;
+      for (std::int32_t r = 0; r < routers; ++r) {
+        for (PortIndex port = 0; port < fwd; ++port) {
+          sum += sink.link_departures(f, r * radix + port);
+        }
+      }
+      return static_cast<double>(sum);
+    }));
+    panel.metrics.emplace_back("links_down", column([&](std::int32_t f) {
+      return static_cast<double>(sink.links_down(f));
+    }));
+    panel.metrics.emplace_back("drops", column([&](std::int32_t f) {
+      return static_cast<double>(sink.drops(f));
+    }));
+    panel.metrics.emplace_back("undeliverable", column([&](std::int32_t f) {
+      return static_cast<double>(sink.undeliverable(f));
+    }));
+    panel.metrics.emplace_back("ectn_updates", column([&](std::int32_t f) {
+      return static_cast<double>(sink.ectn_updates(f));
+    }));
+    doc.panels.push_back(std::move(panel));
+  }
+
+  // Lifetime totals + the engine aggregates they must conserve against.
+  {
+    Panel panel;
+    panel.name = "totals";
+    panel.kind = Panel::Kind::kInfo;
+    panel.columns = {"counter", "value"};
+    auto row = [&](const std::string& key, std::int64_t value) {
+      panel.cells.push_back({key, std::to_string(value)});
+    };
+    row("frames", sink.frames());
+    row("dropped_frames", sink.dropped_frames());
+    row("sample_period", sink.sample_period());
+    row("total_injections", sink.total_injections());
+    row("total_refusals", sink.total_refusals());
+    row("total_deliveries", sink.total_deliveries());
+    row("total_credit_stalls", sink.total_credit_stalls());
+    row("total_link_departures", sink.total_link_departures());
+    row("total_misroutes", sink.total_misroutes());
+    for (std::int32_t c = 0; c < kMisrouteCauseCount; ++c) {
+      const auto cause = static_cast<MisrouteCause>(c);
+      row(std::string("total_cause_") + to_string(cause),
+          sink.total_cause(cause));
+    }
+    row("total_drops", sink.total_drops());
+    row("total_undeliverable", sink.total_undeliverable());
+    row("total_ectn_updates", sink.total_ectn_updates());
+    row("engine_generated", sim.lifetime_totals().generated);
+    row("engine_refused", sim.lifetime_totals().refused);
+    row("engine_delivered", sim.lifetime_totals().delivered);
+    doc.panels.push_back(std::move(panel));
+  }
+
+  return doc;
+}
+
+}  // namespace dfsim::telemetry

@@ -1,0 +1,26 @@
+// Heatmap artifact builder: converts a Simulator's TelemetrySink frames into
+// a dfsim-results document (JSON + long CSV via the usual schema writers) so
+// spatial time-series ride the existing artifact pipeline — same header,
+// config hash, round-trip, and CSV shape as every experiment result.
+#pragma once
+
+#include <string>
+
+#include "report/schema.hpp"
+
+namespace dfsim {
+class Simulator;
+}
+
+namespace dfsim::telemetry {
+
+/// Builds the heatmap document from `sim`'s telemetry sink (which must be
+/// enabled and have committed at least one frame). Panels: per-router
+/// time-series (occupancy, injections, deliveries, credit stalls, misroutes,
+/// local/global link utilization), per-cause misroute decisions, network-wide
+/// counters, and an info table of lifetime totals + conservation inputs.
+[[nodiscard]] report::ResultsDoc build_heatmap_doc(const Simulator& sim,
+                                                   const std::string& name,
+                                                   const std::string& scale);
+
+}  // namespace dfsim::telemetry

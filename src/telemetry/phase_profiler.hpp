@@ -1,0 +1,71 @@
+// Engine phase profiler: wall-time accounting per step() phase, driving
+// `dfsim_run perf --phases` and the BENCH_engine.json phase breakdown (the
+// sharding work's baseline: which phase actually burns the cycles).
+//
+// API-enabled only (Simulator::enable_phase_profiler) — it measures wall
+// time, so it has no config key and never enters the config hash. When not
+// enabled the engine runs its unprofiled step() and takes zero timing calls.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace dfsim::telemetry {
+
+enum class Phase : std::uint8_t {
+  kFaults = 0,     // advance_faults (fault schedule refresh)
+  kDeliver = 1,    // deliver_arrivals
+  kInject = 2,     // inject_traffic
+  kEctn = 3,       // update_ectn (snapshot broadcast)
+  kRoute = 4,      // route_and_allocate
+  kTelemetry = 5,  // telemetry flush (sink gauge scan + frame commit)
+};
+inline constexpr std::int32_t kPhaseCount = 6;
+
+[[nodiscard]] constexpr const char* to_string(Phase phase) {
+  switch (phase) {
+    case Phase::kFaults: return "faults";
+    case Phase::kDeliver: return "deliver";
+    case Phase::kInject: return "inject";
+    case Phase::kEctn: return "ectn";
+    case Phase::kRoute: return "route";
+    case Phase::kTelemetry: return "telemetry";
+  }
+  return "unknown";
+}
+
+class PhaseProfiler {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  void reset() {
+    for (auto& ns : ns_) ns = 0;
+    cycles_ = 0;
+  }
+
+  void add(Phase phase, Clock::time_point begin, Clock::time_point end) {
+    ns_[static_cast<std::size_t>(phase)] +=
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - begin)
+            .count();
+  }
+  void add_cycle() { ++cycles_; }
+
+  [[nodiscard]] std::int64_t cycles() const { return cycles_; }
+  [[nodiscard]] std::int64_t nanoseconds(Phase phase) const {
+    return ns_[static_cast<std::size_t>(phase)];
+  }
+  [[nodiscard]] double seconds(Phase phase) const {
+    return static_cast<double>(nanoseconds(phase)) * 1e-9;
+  }
+  [[nodiscard]] double total_seconds() const {
+    std::int64_t sum = 0;
+    for (const auto ns : ns_) sum += ns;
+    return static_cast<double>(sum) * 1e-9;
+  }
+
+ private:
+  std::int64_t ns_[kPhaseCount] = {};
+  std::int64_t cycles_ = 0;
+};
+
+}  // namespace dfsim::telemetry

@@ -285,13 +285,14 @@ void test_golden_gates() {
 void test_registry_and_render() {
   // Registry sanity: unique names, resolvable, every spec has docs text.
   const auto& registry = experiment_registry();
-  assert(registry.size() == 19);
+  assert(registry.size() == 20);
   for (const ExperimentSpec& spec : registry) {
     assert(find_experiment(spec.name) == &spec);
     assert(std::string(spec.title).size() > 4);
     assert(std::string(spec.description).size() > 40);
   }
   assert(find_experiment("nope") == nullptr);
+  assert(find_experiment("congestion_map") != nullptr);
 
   // Renderer: the synthetic doc yields a report with gate table, headers,
   // a saturated cell printed as "sat", and the trend commentary.

@@ -16,15 +16,19 @@
 // emits the BENCH_engine.json trajectory document, optionally soft-checking
 // it against a committed baseline (--baseline, warns on >threshold drops).
 #include <chrono>
+#include <ctime>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 
 #include "report/parity.hpp"
 #include "report/registry.hpp"
 #include "report/render.hpp"
 #include "sim/config_io.hpp"
+#include "telemetry/heatmap.hpp"
+#include "telemetry/packet_trace.hpp"
 #include "traffic/trace.hpp"
 #include "util/atomic_file.hpp"
 #include "util/cli.hpp"
@@ -41,7 +45,7 @@ int usage(const std::string& error = "") {
       "usage: dfsim_run <command> [flags]\n"
       "  list    [--markdown]                      list registered experiments\n"
       "  run     [--experiments=all|a,b] [--scale=tiny|small|medium|paper]\n"
-      "          [--out=DIR] [--csv] [--quiet] [--strip-rev]\n"
+      "          [--out=DIR] [--csv] [--quiet] [--strip-rev] [--progress]\n"
       "          [--warmup=N --measure=N --reps=N --seed=N --threads=N]\n"
       "          [--loads=0.1,0.2] [--routings=MIN,Base,..] [--with-ugal]\n"
       "          [--traffic=NAME --injection=bernoulli|bursty --trace=F]\n"
@@ -52,9 +56,14 @@ int usage(const std::string& error = "") {
       "  check   --in=DIR [--goldens=DIR] [--rel-tol=R --abs-tol=A]\n"
       "  render  --in=DIR [--out=RESULTS.md] [--goldens=DIR]\n"
       "  gate    [--experiments=..] --goldens=DIR [run flags]\n"
+      "  observe [--scale=tiny|..] [--out=DIR] [--name=congestion]\n"
+      "          [--routing=Base] [--load=F] [--warmup=N --measure=N]\n"
+      "          [--sample-period=N --max-samples=N] [--trace-rate=F]\n"
+      "          [--trace-max-events=N] [--strip-rev] [run traffic flags]\n"
       "  perf    [--scales=tiny,medium] [--loads=0.05,0.3] [--routing=Base]\n"
       "          [--traffic=uniform] [--cycles=N] [--warmup=N] [--seed=N]\n"
-      "          [--out=BENCH_engine.json] [--baseline=F] [--threshold=0.2]\n";
+      "          [--out=BENCH_engine.json] [--baseline=F] [--threshold=0.2]\n"
+      "          [--phases]\n";
   return 2;
 }
 
@@ -285,12 +294,30 @@ std::vector<ResultsDoc> run_selected(const CliOptions& cli) {
   // One context for all experiments: --config/--trace are parsed and
   // validated once; each spec.run copies it by value.
   const RunContext ctx = make_context(cli);
+  const bool progress = cli.has("progress");
   std::vector<ResultsDoc> docs;
   for (const ExperimentSpec* spec : specs) {
     if (!quiet) {
       std::cerr << "running " << spec->name << " ...\n";
     }
-    ResultsDoc doc = run_experiment(*spec, ctx);
+    RunContext run_ctx = ctx;
+    if (progress) {
+      // One structured line per watchdog chunk. Sweeps run the points on a
+      // thread pool, so the line is assembled first and written under a
+      // lock — interleaved heartbeats stay line-atomic.
+      static std::mutex progress_mutex;
+      const std::string name = spec->name;
+      run_ctx.options.heartbeat = [name](Cycle cycle, std::int64_t delivered,
+                                         double elapsed) {
+        std::ostringstream line;
+        line << "progress experiment=" << name << " cycle=" << cycle
+             << " delivered=" << delivered << " elapsed="
+             << format_fixed(elapsed, 2) << "s\n";
+        const std::scoped_lock lock(progress_mutex);
+        std::cerr << line.str();
+      };
+    }
+    ResultsDoc doc = run_experiment(*spec, run_ctx);
     doc.header.git_rev = git_rev;
     if (!out_dir.empty()) {
       const std::filesystem::path base =
@@ -368,6 +395,83 @@ int cmd_gate(const CliOptions& cli) {
 }
 
 // ---------------------------------------------------------------------------
+// observe: one instrumented run with spatial telemetry + packet tracing
+// forced on, emitting the heatmap document (JSON + long CSV), the Chrome
+// trace-event JSON (load in Perfetto / chrome://tracing), and the compact
+// binary trace. Every artifact is round-trip-validated before it is written:
+// a file that exists is a file the readers can parse.
+
+int cmd_observe(const CliOptions& cli) {
+  RunContext ctx = make_context(cli);
+  SimParams p = ctx.base;
+  if (cli.has("routing")) {
+    p.routing.kind = routing_kind_from_string(cli.get("routing"));
+  }
+  p.traffic.load = cli.get_double("load", p.traffic.load);
+  p.telemetry.enabled = true;
+  p.telemetry.sample_period = static_cast<Cycle>(
+      cli.get_int("sample-period", p.telemetry.sample_period));
+  p.telemetry.max_samples = static_cast<std::int32_t>(
+      cli.get_int("max-samples", p.telemetry.max_samples));
+  p.trace.enabled = true;
+  p.trace.sample_rate = cli.get_double("trace-rate", p.trace.sample_rate);
+  p.trace.max_events = static_cast<std::int64_t>(
+      cli.get_int("trace-max-events", p.trace.max_events));
+
+  Simulator sim(p);
+  sim.run(ctx.options.warmup);
+  sim.begin_measurement();
+  sim.run(ctx.options.measure);
+
+  const std::string out_dir = cli.get("out", "observe");
+  std::filesystem::create_directories(out_dir);
+  const std::string name = cli.get("name", "congestion");
+  const std::filesystem::path base = std::filesystem::path(out_dir) / name;
+
+  // Heatmap document: validated by parsing the emitted JSON back through
+  // the schema reader.
+  ResultsDoc doc = telemetry::build_heatmap_doc(sim, name, ctx.scale);
+  doc.header.warmup = ctx.options.warmup;
+  if (cli.has("strip-rev")) doc.header.git_rev.clear();
+  const std::string json_text = to_json(doc).dump();
+  (void)doc_from_json(Json::parse(json_text));  // throws on schema breakage
+  write_file(base.string() + "_heatmap.json", json_text);
+  std::ostringstream csv;
+  write_csv(doc, csv);
+  write_file(base.string() + "_heatmap.csv", csv.str());
+
+  // Traces: binary round-trip and Chrome-JSON parse checked in-memory
+  // before the files land.
+  const telemetry::PacketTracer& tracer = sim.packet_tracer();
+  std::ostringstream bin;
+  telemetry::write_trace_binary(tracer.events(), tracer.dropped_events(), bin);
+  {
+    std::istringstream check(bin.str());
+    std::vector<telemetry::TraceEvent> decoded;
+    std::int64_t dropped = 0;
+    if (!telemetry::read_trace_binary(check, decoded, dropped) ||
+        decoded.size() != tracer.events().size()) {
+      throw std::runtime_error("observe: binary trace failed round-trip");
+    }
+  }
+  write_file(base.string() + "_trace.bin", bin.str());
+  std::ostringstream chrome;
+  telemetry::write_chrome_trace(tracer.events(), chrome);
+  (void)Json::parse(chrome.str());  // throws when not well-formed JSON
+  write_file(base.string() + "_trace.json", chrome.str());
+
+  const telemetry::TelemetrySink& sink = sim.telemetry_sink();
+  std::cerr << "observe: " << sink.frames() << " frames ("
+            << sink.dropped_frames() << " dropped), "
+            << tracer.events().size() << " trace events from "
+            << tracer.sampled_packets() << " sampled packets ("
+            << tracer.dropped_events() << " dropped)\n"
+            << "wrote " << base.string() << "_heatmap.{json,csv} and "
+            << base.string() << "_trace.{json,bin}\n";
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
 // perf: raw engine stepping throughput (the BENCH_engine.json trajectory).
 
 /// Wall-clock cycles for one timed point, sized so every point finishes in
@@ -397,6 +501,11 @@ int cmd_perf(const CliOptions& cli) {
       traffic_kind_from_string(cli.get("traffic", "uniform"));
   const Cycle warmup = cli.get_int("warmup", 500);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  // --phases folds the engine's per-phase wall-time accounting into each
+  // point. The profiler's clock reads add overhead, so phase-profiled
+  // cycles/sec are not comparable with unprofiled baselines — flagged in
+  // the document and excluded from the regression check.
+  const bool phases = cli.has("phases");
 
   Json points = Json::array();
   for (const std::string& scale : scales) {
@@ -409,8 +518,10 @@ int cmd_perf(const CliOptions& cli) {
       const Cycle cycles = cli.get_int("cycles", default_perf_cycles(scale));
 
       Simulator sim(p);
+      if (phases) sim.enable_phase_profiler();
       sim.run(warmup);
       sim.begin_measurement();
+      if (phases) sim.enable_phase_profiler();  // reset: measure window only
       const auto t0 = std::chrono::steady_clock::now();
       sim.run(cycles);
       const auto t1 = std::chrono::steady_clock::now();
@@ -427,11 +538,28 @@ int cmd_perf(const CliOptions& cli) {
       pt.set("seconds", seconds);
       pt.set("cycles_per_sec", cps);
       pt.set("delivered", sim.metrics().delivered);
-      points.push_back(std::move(pt));
       std::cerr << "perf " << scale << " load=" << load << ": "
                 << static_cast<std::int64_t>(cps) << " cycles/sec ("
                 << cycles << " cycles, "
                 << sim.metrics().delivered << " delivered)\n";
+      if (phases) {
+        const telemetry::PhaseProfiler& prof = sim.phase_profiler();
+        Json breakdown = Json::object();
+        for (std::int32_t ph = 0; ph < telemetry::kPhaseCount; ++ph) {
+          const auto phase = static_cast<telemetry::Phase>(ph);
+          const double s = prof.seconds(phase);
+          breakdown.set(telemetry::to_string(phase), s);
+          std::cerr << "  phase " << telemetry::to_string(phase) << ": "
+                    << format_fixed(s * 1e3, 2) << " ms ("
+                    << format_fixed(prof.total_seconds() > 0.0
+                                        ? 100.0 * s / prof.total_seconds()
+                                        : 0.0,
+                                    1)
+                    << "%)\n";
+        }
+        pt.set("phase_seconds", std::move(breakdown));
+      }
+      points.push_back(std::move(pt));
     }
   }
 
@@ -440,16 +568,14 @@ int cmd_perf(const CliOptions& cli) {
   doc.set("routing", to_string(routing));
   doc.set("traffic", to_string(traffic));
   doc.set("warmup", static_cast<std::int64_t>(warmup));
-  doc.set("points", std::move(points));
+  doc.set("points", points);
+  if (phases) doc.set("phase_profiled", true);
 
-  // Soft regression check against a committed trajectory file: timing noise
-  // makes a hard gate flaky, so drops past the threshold only warn — and an
-  // unreadable or corrupt baseline skips the comparison instead of failing
-  // the (otherwise successful) measurement.
+  // Read the committed baseline (when given) once: it is both the soft
+  // regression reference and the carrier of the perf-trajectory history.
+  Json base;
+  bool base_ok = false;
   if (cli.has("baseline")) {
-    const double threshold = cli.get_double("threshold", 0.2);
-    Json base;
-    bool base_ok = false;
     std::ifstream in(cli.get("baseline"), std::ios::binary);
     if (in) {
       std::stringstream buf;
@@ -466,10 +592,59 @@ int cmd_perf(const CliOptions& cli) {
       std::cerr << "perf: baseline '" << cli.get("baseline")
                 << "' not readable, skipping comparison\n";
     }
-    int warnings = 0;
+  }
+
+  // Per-run trajectory history: the emitted file used to hold only the
+  // latest measurement, so re-emitting destroyed the trajectory the file
+  // exists to record. Each run now appends {git_rev, date, points} to the
+  // history carried over from the baseline file; the regression check reads
+  // the latest history entry of the baseline when one exists.
+  {
+    Json history = Json::array();
     if (base_ok) {
+      if (const Json* prior = base.find("history")) {
+        if (prior->is_array()) history = *prior;
+      }
+    }
+    Json entry = Json::object();
+    entry.set("git_rev", current_git_rev());
+    std::time_t now = std::time(nullptr);
+    char date[32] = "unknown";
+    if (std::tm tm_buf{}; gmtime_r(&now, &tm_buf) != nullptr) {
+      std::strftime(date, sizeof(date), "%Y-%m-%d", &tm_buf);
+    }
+    entry.set("date", std::string(date));
+    if (phases) entry.set("phase_profiled", true);
+    entry.set("points", points);
+    history.push_back(std::move(entry));
+    doc.set("history", std::move(history));
+  }
+
+  // Soft regression check against the committed trajectory file: timing
+  // noise makes a hard gate flaky, so drops past the threshold only warn —
+  // and an unreadable or corrupt baseline skips the comparison instead of
+  // failing the (otherwise successful) measurement. Phase-profiled runs skip
+  // it too: the profiler's clock reads slow the engine down.
+  if (base_ok && phases) {
+    std::cerr << "perf: --phases run, skipping baseline comparison\n";
+  }
+  if (base_ok && !phases) {
+    const double threshold = cli.get_double("threshold", 0.2);
+    // Prefer the baseline's most recent history entry (the actual latest
+    // measurement); fall back to its top-level points for pre-history files.
+    const Json* base_points = &base.get("points");
+    if (const Json* history = base.find("history")) {
+      if (history->is_array() && history->size() > 0) {
+        const Json& latest = history->items()[history->size() - 1];
+        if (const Json* hp = latest.find("points")) {
+          if (!latest.find("phase_profiled")) base_points = hp;
+        }
+      }
+    }
+    int warnings = 0;
+    {
       for (const Json& pt : doc.get("points").items()) {
-        for (const Json& bp : base.get("points").items()) {
+        for (const Json& bp : base_points->items()) {
           if (bp.get_string("scale") != pt.get_string("scale") ||
               bp.get_number("load") != pt.get_number("load")) {
             continue;
@@ -515,6 +690,7 @@ int main(int argc, char** argv) {
     if (command == "check") return cmd_check(cli);
     if (command == "render") return cmd_render(cli);
     if (command == "gate") return cmd_gate(cli);
+    if (command == "observe") return cmd_observe(cli);
     if (command == "perf") return cmd_perf(cli);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -666,6 +666,7 @@ void Simulator::maybe_local_detour(RouterId r, std::int32_t q) {
 // Per-cycle phases
 
 void Simulator::link_heap_push(std::uint64_t key) {
+  // dfsim-check: allow(CHK-ALLOC): reserved to the distinct-link bound
   link_heap_.push_back(key);
   std::push_heap(link_heap_.begin(), link_heap_.end(),
                  std::greater<std::uint64_t>{});
@@ -921,6 +922,7 @@ void Simulator::deliver(RouterId r, std::int32_t packet) {
 
   if (log_deliveries_) {
     if (deliveries_.size() == deliveries_.capacity()) ++log_growth_;
+    // dfsim-check: allow(CHK-ALLOC): growth is counted in log_growth_
     deliveries_.push_back(Delivery{pool_.birth[pi], latency, mis_global,
                                    !mis_global && !mis_local});
   }

@@ -16,9 +16,9 @@ constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 // Panel lookups
 
 const std::vector<std::vector<double>>* Panel::metric(
-    const std::string& name) const {
+    const std::string& metric_name) const {
   for (const auto& [n, rows] : metrics) {
-    if (n == name) return &rows;
+    if (n == metric_name) return &rows;
   }
   return nullptr;
 }

@@ -63,9 +63,11 @@ std::span<const AllocGrant> SeparableAllocator::iterate(
       const AllocRequest& req =
           reqs[static_cast<std::size_t>(group.begin + (start + k) % n)];
       if (out_busy_[static_cast<std::size_t>(req.out)]) continue;
+      // dfsim-check: allow(CHK-ALLOC): reserved to in_ports_ in the ctor
       winners_.push_back(AllocGrant{group.in, req.vc, req.out});
       if (!out_has_candidate_[static_cast<std::size_t>(req.out)]) {
         out_has_candidate_[static_cast<std::size_t>(req.out)] = 1;
+        // dfsim-check: allow(CHK-ALLOC): reserved to out_ports_ in the ctor
         cand_outs_.push_back(req.out);
       }
       break;
@@ -106,6 +108,7 @@ std::span<const AllocGrant> SeparableAllocator::iterate(
       }
       if (best < 0) continue;
       const AllocGrant& grant = winners_[static_cast<std::size_t>(best)];
+      // dfsim-check: allow(CHK-ALLOC): reserved to min(in,out) in the ctor
       iter_grants_.push_back(grant);
       in_busy_[static_cast<std::size_t>(grant.in)] = 1;
       out_busy_[outi] = 1;
@@ -124,6 +127,7 @@ std::span<const AllocGrant> SeparableAllocator::iterate(
   cand_outs_.clear();
   winners_.clear();
 
+  // dfsim-check: allow(CHK-ALLOC): reserved to 2*min(in,out) in the ctor
   cycle_grants_.insert(cycle_grants_.end(), iter_grants_.begin(),
                        iter_grants_.end());
   return {iter_grants_.data(), iter_grants_.size()};

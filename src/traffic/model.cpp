@@ -269,6 +269,7 @@ bool TrafficModel::next(Injection& out) {
   }
   if (recording_) {
     const bool grew = recorded_.size() == recorded_.capacity();
+    // dfsim-check: allow(CHK-ALLOC): growth is counted in record_growth_
     recorded_.push_back(TraceRecord{now_ - record_base_, out.src, out.dst});
     if (grew) ++record_growth_;
   }

@@ -26,8 +26,9 @@ class LatencyHistogram {
 
   void add(std::int64_t value) {
     ++total_;
-    const int b =
-        value <= 0 ? 0 : std::bit_width(static_cast<std::uint64_t>(value));
+    const int b = value <= 0 ? 0
+                             : static_cast<int>(std::bit_width(
+                                   static_cast<std::uint64_t>(value)));
     if (b >= kBuckets - 1) {  // at or beyond the top bucket: overflow
       ++overflow_;
       return;

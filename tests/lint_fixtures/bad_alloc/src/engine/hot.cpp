@@ -1,0 +1,8 @@
+// Seeded CHK-ALLOC violation: a push_back in a listed hot-path function.
+namespace dfsim {
+
+void Engine::route_cycle() {
+  scratch_.push_back(42);  // VIOLATION: allocation in the hot path
+}
+
+}  // namespace dfsim

@@ -1,0 +1,12 @@
+// Canonical serialization for the bad_config fixture: emits only the
+// documented key, so the undocumented one is also missing from the hash.
+namespace dfsim {
+
+std::string canonical_params_text(const SimParams& p) {
+  std::string out;
+  auto i32 = [&](const char* key, std::int32_t v) { append(out, key, v); };
+  i32("router.vcs", p.router.vcs);
+  return out;
+}
+
+}  // namespace dfsim

@@ -1,0 +1,19 @@
+// Seeded CHK-CONFIG violation: `router.undocumented` is parsed here but is
+// neither documented in docs/CONFIG.md nor emitted by the canonical
+// serialization in src/report/schema.cpp.
+namespace dfsim {
+
+bool apply_param(SimParams& p, const std::string& key,
+                 const std::string& value) {
+  if (key == "router.vcs") {
+    p.router.vcs = parse_i32(value);
+    return true;
+  }
+  if (key == "router.undocumented") {  // VIOLATION
+    p.router.undocumented = parse_i32(value);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace dfsim

@@ -1,0 +1,18 @@
+// Seeded CHK-GATE violation: Simulator::step() touches the telemetry sink
+// without the telemetry_on_ guard dominating the access.
+namespace dfsim {
+
+void Simulator::advance_faults() {
+  health_.tick();  // fine: every call site below is fault_on_-guarded
+}
+
+void Simulator::flush_telemetry() {
+  sink_.flush();  // VIOLATION: reachable from step() with no guard anywhere
+}
+
+void Simulator::step() {
+  if (fault_on_) advance_faults();
+  flush_telemetry();  // missing `if (telemetry_on_)`
+}
+
+}  // namespace dfsim

@@ -1,0 +1,15 @@
+// Seeded CHK-RNG violation: a routing-stream draw site that is not in the
+// fixture's (empty) rng_sites.txt allowlist.
+namespace dfsim {
+
+class Pathfinder {
+ public:
+  int pick(int n) {
+    return static_cast<int>(rng_.next_below(n));  // undeclared draw site
+  }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace dfsim

@@ -1,0 +1,12 @@
+// Seeded CHK-SCHEMA violation: `surprise_field` is written to the results
+// document but docs/SCHEMA.md does not document it.
+namespace dfsim::report {
+
+Json to_json(const ResultsDoc& doc) {
+  Json root;
+  root.set("schema", doc.header.schema);
+  root.set("surprise_field", 42);  // VIOLATION: undocumented
+  return root;
+}
+
+}  // namespace dfsim::report

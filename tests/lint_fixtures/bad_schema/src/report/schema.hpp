@@ -1,0 +1,4 @@
+// Version constant for the bad_schema fixture.
+namespace dfsim::report {
+inline constexpr const char* kSchemaVersion = "dfsim-results/v2";
+}

@@ -6,12 +6,16 @@
 #                          tiny scale as a schema-versioned dfsim-results
 #                          document (emitted by dfsim_run, rev-stripped so
 #                          re-running on an unchanged tree is a no-op diff);
-#   BENCH_engine.json    — raw Simulator::step() throughput (cycles/sec per
-#                          scale x load, dfsim_run perf). When the output
-#                          file already exists (the committed trajectory), a
-#                          drop of more than 20% per point prints a SOFT
-#                          warning — timing noise makes a hard gate flaky —
-#                          and never fails the run.
+#   BENCH_engine.json    — raw engine stepping throughput (cycles/sec per
+#                          scale x load x engine.threads shard count,
+#                          dfsim_run perf). When the output file already
+#                          exists (the committed trajectory), a drop of more
+#                          than 20% per point prints a SOFT warning — timing
+#                          noise makes a hard gate flaky — and never fails
+#                          the run. The threads axis is the sharded-engine
+#                          scaling record; read it against the cores the
+#                          measuring host actually had (a 1-core container
+#                          shows a flat profile by construction).
 #
 # Usage: scripts/bench_baseline.sh [--engine] [build-dir] [micro-out]
 #                                  [workloads-out] [engine-out]
@@ -55,7 +59,8 @@ emit_engine() {
   if [[ -f "$ENGINE_OUT" ]]; then
     baseline_args=(--baseline="$ENGINE_OUT" --threshold=0.2)
   fi
-  "$BUILD_DIR/dfsim_run" perf --scales=tiny,medium --loads=0.05,0.3 \
+  "$BUILD_DIR/dfsim_run" perf --scales=tiny,medium,paper --loads=0.05,0.3 \
+    --engine-threads=1,2,4,8 \
     --out="$tmp" "${baseline_args[@]+"${baseline_args[@]}"}"
   mv "$tmp" "$ENGINE_OUT"
   echo "wrote $ENGINE_OUT"

@@ -54,6 +54,22 @@ class PacketPool {
     flags[static_cast<std::size_t>(id)] = 0;
   }
 
+  /// Size every SoA array to exactly `n` slots, bypassing the free list.
+  /// Sharded (threads > 1) runs use this: the arrays must never reallocate
+  /// while worker threads hold references into them, so each shard draws ids
+  /// from its own disjoint range (see Simulator::build_shards) and
+  /// allocate()/release() go unused.
+  void resize_slots(std::size_t n) {
+    src.resize(n, 0);
+    dst.resize(n, 0);
+    birth.resize(n, 0);
+    target_router.resize(n, -1);
+    via_port.resize(n, -1);
+    g_hops.resize(n, 0);
+    hops.resize(n, 0);
+    flags.resize(n, 0);
+  }
+
   /// Preallocate capacity for `n` packets (and the free list) up front.
   void reserve(std::size_t n) {
     src.reserve(n);

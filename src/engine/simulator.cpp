@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <chrono>
 #include <functional>
 #include <stdexcept>
 
@@ -10,6 +11,12 @@
 #include "topo/factory.hpp"
 
 namespace dfsim {
+
+std::atomic<std::int32_t> Simulator::jitter_us_{0};
+
+void Simulator::debug_set_shard_jitter(std::int32_t us) {
+  jitter_us_.store(us, std::memory_order_relaxed);
+}
 
 Simulator::Simulator(const SimParams& params)
     : Simulator(params, make_topology(params)) {}
@@ -20,15 +27,29 @@ Simulator::Simulator(const SimParams& params,
       topo_owner_(std::move(topology)),
       topo_(*topo_owner_),
       counters_(topo_.routers() * topo_.radix(),
-                params.routing.counter_saturation),
-      rng_(params.seed),
-      traffic_(params.traffic, topo_.traffic_info(),
-               params.packet_size_phits, params.seed) {
+                params.routing.counter_saturation) {
   radix_ = topo_.radix();
   fwd_ = topo_.forward_ports();
   vmax_ = std::max({params_.router.vcs_local, params_.router.vcs_global,
                     params_.router.vcs_injection});
   psize_ = std::max(1, params_.packet_size_phits);
+
+  if (params_.engine.threads < 1) {
+    throw std::invalid_argument("engine.threads must be >= 1");
+  }
+  // More shards than routers would leave some empty; clamp instead.
+  n_shards_ = std::min(params_.engine.threads, topo_.routers());
+  if (n_shards_ > 1) {
+    if (params_.telemetry.enabled) {
+      throw std::invalid_argument(
+          "telemetry requires engine.threads = 1 (sink counters are not "
+          "sharded)");
+    }
+    if (params_.trace.enabled) {
+      throw std::invalid_argument(
+          "packet tracing requires engine.threads = 1");
+    }
+  }
 
   base_trigger_ = ContentionThresholdTrigger{
       params_.routing.contention_threshold, params_.routing.statistical_trigger,
@@ -51,6 +72,7 @@ Simulator::Simulator(const SimParams& params,
   }
 
   build_layout();
+  build_shards();
 
   if (params_.telemetry.enabled) {
     telemetry_on_ = true;
@@ -81,6 +103,16 @@ Simulator::Simulator(const SimParams& params,
       static_cast<std::size_t>(std::max<std::int32_t>(
           1, topo_.ectn_router_slots())),
       0);
+}
+
+Simulator::~Simulator() {
+  if (workers_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
 }
 
 void Simulator::build_layout() {
@@ -146,7 +178,7 @@ void Simulator::build_layout() {
     }
   }
 
-  // Allocators and the shared sparse request batch.
+  // Allocators.
   allocators_.reserve(static_cast<std::size_t>(routers));
   for (RouterId r = 0; r < routers; ++r) {
     allocators_.emplace_back(radix_, radix_, vmax_);
@@ -154,14 +186,13 @@ void Simulator::build_layout() {
       allocators_.back().set_through_priority(fwd_);
     }
   }
-  request_batch_.reserve(radix_, vmax_);
 
-  // Active-set masks: all queues empty at construction.
+  // Active-set masks: all queues empty at construction. The router summary
+  // masks are per shard (build_shards).
   queue_words_per_router_ = (radix_ * vmax_ + 63) / 64;
   queue_active_.assign(static_cast<std::size_t>(routers) *
                            static_cast<std::size_t>(queue_words_per_router_),
                        0);
-  router_active_.assign(static_cast<std::size_t>((routers + 63) / 64), 0);
 
   // Per-link in-flight rings: sends on a link are spaced >= psize cycles
   // apart and stay on it for link_delay cycles, so delay/psize + 2 slots is
@@ -184,32 +215,165 @@ void Simulator::build_layout() {
   }
   ring_slab_.assign(static_cast<std::size_t>(ring_total), LinkEvent{});
 
-  // Due-link heap: at most one entry per link, so this reserve is a hard
-  // structural bound and the heap never allocates after construction.
+  // Due-link heap keys must be able to carry every link id.
   assert(n_out < (std::size_t{1} << kLinkBits));
-  link_heap_.clear();
-  link_heap_.reserve(n_out);
 
   // Preallocate the packet pool to its structural upper bound: every packet
   // is either in some queue slot or on some link ring.
   pool_.reserve(slab_.size() + static_cast<std::size_t>(ring_total));
 }
 
+void Simulator::build_shards() {
+  const std::int32_t routers = topo_.routers();
+  const std::int32_t conc = topo_.concentration();
+  const auto n_out = static_cast<std::size_t>(routers) *
+                     static_cast<std::size_t>(radix_);
+
+  if (n_shards_ > 1) {
+    shard_of_router_.assign(static_cast<std::size_t>(routers), 0);
+    // Snapshot-based remote probes exist only for the idealized-global
+    // estimate and Piggyback's remote link-state flag.
+    snap_on_ = params_.routing.kind == RoutingKind::kUgalG ||
+               params_.routing.kind == RoutingKind::kPiggyback;
+    if (snap_on_) occ_snap_.assign(n_out, 0);
+  }
+
+  shards_.reserve(static_cast<std::size_t>(n_shards_));
+  for (std::int32_t i = 0; i < n_shards_; ++i) {
+    // Contiguous balanced ranges; boundaries need not be 64-aligned because
+    // each shard's summary mask is indexed by (r - r_lo).
+    const auto r_lo = static_cast<RouterId>(
+        static_cast<std::int64_t>(routers) * i / n_shards_);
+    const auto r_hi = static_cast<RouterId>(
+        static_cast<std::int64_t>(routers) * (i + 1) / n_shards_);
+    Shard sh;
+    sh.index = i;
+    sh.r_lo = r_lo;
+    sh.r_hi = r_hi;
+    sh.n_lo = r_lo * conc;
+    sh.n_hi = r_hi * conc;
+    // Shard 0 draws the raw seed: with one shard both streams ARE the
+    // serial streams, which is what keeps threads = 1 bit-exact.
+    const std::uint64_t seed =
+        params_.seed + kShardSeedStride * static_cast<std::uint64_t>(i);
+    sh.rng = Rng(seed);
+    sh.traffic = std::make_unique<TrafficModel>(
+        params_.traffic, topo_.traffic_info(), params_.packet_size_phits,
+        seed);
+    if (n_shards_ > 1) {
+      sh.traffic->restrict_nodes(sh.n_lo, sh.n_hi);
+      for (RouterId r = r_lo; r < r_hi; ++r) {
+        shard_of_router_[static_cast<std::size_t>(r)] = i;
+      }
+    }
+    sh.request_batch.reserve(radix_, vmax_);
+    sh.router_active.assign(
+        static_cast<std::size_t>((r_hi - r_lo + 63) / 64), 0);
+    shards_.push_back(std::move(sh));
+  }
+
+  if (n_shards_ == 1) {
+    // Due-link heap: at most one entry per link, so this reserve is a hard
+    // structural bound and the heap never allocates after construction.
+    shards_[0].link_heap.reserve(n_out);
+    return;
+  }
+
+  // Ownership tables, derived from the wiring rather than topology
+  // symmetry assumptions: the credit counter of queue block (r, ip) belongs
+  // to whichever shard departs packets into it (the upstream router), and a
+  // link's in-flight ring belongs to the downstream router's shard.
+  credit_owner_.assign(n_out, 0);
+  link_owner_.assign(n_out, 0);
+  for (RouterId r = 0; r < routers; ++r) {
+    const std::int32_t own = shard_of_router_[static_cast<std::size_t>(r)];
+    for (PortIndex ip = 0; ip < radix_; ++ip) {
+      credit_owner_[static_cast<std::size_t>(flat_port(r, ip))] = own;
+    }
+  }
+  for (RouterId r = 0; r < routers; ++r) {
+    const std::int32_t own = shard_of_router_[static_cast<std::size_t>(r)];
+    for (PortIndex out = 0; out < fwd_; ++out) {
+      const std::size_t flat = static_cast<std::size_t>(flat_port(r, out));
+      const std::int32_t down_port = down_queue_base_[flat] / vmax_;
+      credit_owner_[static_cast<std::size_t>(down_port)] = own;
+      link_owner_[flat] = shard_of_router_[static_cast<std::size_t>(
+          down_queue_base_[flat] / (radix_ * vmax_))];
+    }
+  }
+
+  // Per-shard due-link heap reserves (one slot per owned link).
+  std::vector<std::size_t> owned_links(static_cast<std::size_t>(n_shards_), 0);
+  for (std::size_t l = 0; l < n_out; ++l) {
+    if (ring_cap_[l] > 0) {
+      ++owned_links[static_cast<std::size_t>(link_owner_[l])];
+    }
+  }
+
+  // Sharded packet-id ranges: the pool arrays are sized once to the
+  // structural bound (they must never reallocate under worker references),
+  // and each shard gets the ids backing its own queue slots and owned link
+  // rings — exactly enough that the shard can never hold more packets than
+  // ids. The free lists are filled descending so pop_back hands out
+  // ascending ids, and each id returns to its range owner via kFreeId.
+  const std::size_t total = slab_.size() + ring_slab_.size();
+  pool_.resize_slots(total);
+  std::vector<std::int64_t> share(static_cast<std::size_t>(n_shards_), 0);
+  for (std::int32_t i = 0; i < n_shards_; ++i) {
+    const Shard& sh = shards_[static_cast<std::size_t>(i)];
+    const std::int64_t slab_lo =
+        q_offset_[static_cast<std::size_t>(queue_index(sh.r_lo, 0, 0))];
+    const std::int64_t slab_hi =
+        sh.r_hi < routers
+            ? q_offset_[static_cast<std::size_t>(queue_index(sh.r_hi, 0, 0))]
+            : static_cast<std::int64_t>(slab_.size());
+    share[static_cast<std::size_t>(i)] = slab_hi - slab_lo;
+  }
+  for (std::size_t l = 0; l < n_out; ++l) {
+    share[static_cast<std::size_t>(link_owner_[l])] += ring_cap_[l];
+  }
+  shard_id_base_.assign(static_cast<std::size_t>(n_shards_) + 1, 0);
+  for (std::int32_t i = 0; i < n_shards_; ++i) {
+    shard_id_base_[static_cast<std::size_t>(i) + 1] =
+        shard_id_base_[static_cast<std::size_t>(i)] +
+        static_cast<std::int32_t>(share[static_cast<std::size_t>(i)]);
+  }
+  assert(static_cast<std::size_t>(shard_id_base_.back()) == total);
+
+  for (std::int32_t i = 0; i < n_shards_; ++i) {
+    Shard& sh = shards_[static_cast<std::size_t>(i)];
+    const std::int32_t lo = shard_id_base_[static_cast<std::size_t>(i)];
+    const std::int32_t hi = shard_id_base_[static_cast<std::size_t>(i) + 1];
+    sh.free_ids.reserve(static_cast<std::size_t>(hi - lo));
+    for (std::int32_t id = hi - 1; id >= lo; --id) sh.free_ids.push_back(id);
+    sh.link_heap.reserve(owned_links[static_cast<std::size_t>(i)]);
+    sh.outbox.resize(static_cast<std::size_t>(n_shards_));
+    for (auto& box : sh.outbox) box.reserve(64);
+  }
+
+  barrier_ = std::make_unique<SpinBarrier>(n_shards_);
+  workers_.reserve(static_cast<std::size_t>(n_shards_) - 1);
+  for (std::int32_t i = 1; i < n_shards_; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Queue primitives
 
-void Simulator::activate_queue(std::int32_t q) {
+void Simulator::activate_queue(Shard& sh, std::int32_t q) {
   const RouterId r = q / (radix_ * vmax_);
   const std::int32_t bit = q - r * radix_ * vmax_;
   queue_active_[static_cast<std::size_t>(r) *
                     static_cast<std::size_t>(queue_words_per_router_) +
                 static_cast<std::size_t>(bit >> 6)] |=
       std::uint64_t{1} << (bit & 63);
-  router_active_[static_cast<std::size_t>(r >> 6)] |= std::uint64_t{1}
-                                                      << (r & 63);
+  const std::int32_t rl = r - sh.r_lo;
+  sh.router_active[static_cast<std::size_t>(rl >> 6)] |= std::uint64_t{1}
+                                                         << (rl & 63);
 }
 
-void Simulator::deactivate_queue(std::int32_t q) {
+void Simulator::deactivate_queue(Shard& sh, std::int32_t q) {
   const RouterId r = q / (radix_ * vmax_);
   const std::int32_t bit = q - r * radix_ * vmax_;
   const std::size_t base = static_cast<std::size_t>(r) *
@@ -221,40 +385,57 @@ void Simulator::deactivate_queue(std::int32_t q) {
     any |= queue_active_[base + static_cast<std::size_t>(w)];
   }
   if (any == 0) {
-    router_active_[static_cast<std::size_t>(r >> 6)] &=
-        ~(std::uint64_t{1} << (r & 63));
+    const std::int32_t rl = r - sh.r_lo;
+    sh.router_active[static_cast<std::size_t>(rl >> 6)] &=
+        ~(std::uint64_t{1} << (rl & 63));
   }
 }
 
-void Simulator::push_queue(std::int32_t q, std::int32_t packet) {
+void Simulator::push_queue(Shard& sh, std::int32_t q, std::int32_t packet) {
   const auto qi = static_cast<std::size_t>(q);
   assert(q_size_[qi] < q_cap_[qi]);
   const std::int32_t slot =
       q_offset_[qi] + (q_head_[qi] + q_size_[qi]) % q_cap_[qi];
   slab_[static_cast<std::size_t>(slot)] = packet;
   if (++q_size_[qi] == 1) {
-    activate_queue(q);
-    on_new_head(q);
+    activate_queue(sh, q);
+    on_new_head(sh, q);
   }
 }
 
-std::int32_t Simulator::pop_queue(std::int32_t q) {
+std::int32_t Simulator::pop_queue(Shard& sh, std::int32_t q) {
   const auto qi = static_cast<std::size_t>(q);
   assert(q_size_[qi] > 0);
   const std::int32_t packet =
       slab_[static_cast<std::size_t>(q_offset_[qi] + q_head_[qi])];
   q_head_[qi] = (q_head_[qi] + 1) % q_cap_[qi];
   --q_size_[qi];
-  ++q_free_[qi];
-  if (q_size_[qi] > 0) {
-    on_new_head(q);
+  if (n_shards_ == 1) {
+    ++q_free_[qi];
   } else {
-    deactivate_queue(q);
+    // The credit belongs to the upstream shard; return it through the
+    // inbox when that is someone else (applied at their next merge — the
+    // one-cycle credit delay documented in ARCHITECTURE.md).
+    const std::int32_t owner = credit_owner_[static_cast<std::size_t>(
+        q / vmax_)];
+    if (owner == sh.index) {
+      ++q_free_[qi];
+    } else {
+      ShardMessage m;
+      m.kind = ShardMessage::Kind::kCredit;
+      m.queue = q;
+      push_msg(sh, owner, m);
+    }
+  }
+  if (q_size_[qi] > 0) {
+    on_new_head(sh, q);
+  } else {
+    deactivate_queue(sh, q);
   }
   return packet;
 }
 
-void Simulator::on_new_head(std::int32_t q) {
+void Simulator::on_new_head(Shard& sh, std::int32_t q) {
   const auto qi = static_cast<std::size_t>(q);
   const RouterId r = q / (radix_ * vmax_);
   const PortIndex ip = (q / vmax_) % radix_;
@@ -278,9 +459,9 @@ void Simulator::on_new_head(std::int32_t q) {
 
   if (ip >= fwd_ &&
       !(pool_.flags[pi] & PacketPool::kRouted)) {
-    decide_injection(r, packet);
+    decide_injection(sh, r, packet);
   }
-  maybe_transit_misroute(r, q, packet);
+  maybe_transit_misroute(sh, r, q, packet);
 
   const PortIndex counted = topo_.minimal_output(r, pool_.dst[pi]);
   q_counted_[qi] = static_cast<std::int16_t>(counted);
@@ -346,6 +527,19 @@ std::int32_t Simulator::occupancy_phits(RouterId r, PortIndex out) const {
   return occupied * psize_;
 }
 
+std::int32_t Simulator::probe_occupancy_phits(const Shard& sh, RouterId r,
+                                              PortIndex out) const {
+  // Remote routers' live credit state is owned by another shard; the
+  // cycle-start snapshot (refreshed at each owner's merge point) stands in
+  // for it. With one shard every router is local, so this is exactly
+  // occupancy_phits and the serial draw sequence is untouched.
+  if (snap_on_ && (r < sh.r_lo || r >= sh.r_hi)) {
+    if (out >= fwd_) return 0;
+    return occ_snap_[static_cast<std::size_t>(flat_port(r, out))];
+  }
+  return occupancy_phits(r, out);
+}
+
 std::int32_t Simulator::port_capacity_phits(PortIndex out) const {
   // Reference capacity for occupancy-fraction triggers: a single VC buffer.
   // Traffic on a link concentrates in its hop-class VC, so fractions of the
@@ -366,9 +560,10 @@ VcIndex Simulator::vc_for(RouterId r, PortIndex out,
   return std::min<VcIndex>(cls, class_vcs(out) - 1);
 }
 
-bool Simulator::pick_misroute_channel(RouterId r, NodeId dst,
+bool Simulator::pick_misroute_channel(Shard& sh, RouterId r, NodeId dst,
                                       bool use_snapshot, bool use_occupancy,
                                       NonminCandidate& best) {
+  Rng& rng = sh.rng;
   // Target number of distinct scored options per decision (the paper's CRG
   // candidate set size at its h=8 router; pools at or below this are
   // enumerated exhaustively).
@@ -418,7 +613,7 @@ bool Simulator::pick_misroute_channel(RouterId r, NodeId dst,
   std::int32_t n_seen = 0;
   for (std::int32_t draw = 0;
        draw < kCandidates + 1 && n_seen < kCandidates; ++draw) {
-    if (!topo_.sample_nonmin(rng_, r, dst, crg, cand)) continue;
+    if (!topo_.sample_nonmin(rng, r, dst, crg, cand)) continue;
     bool duplicate = false;
     for (std::int32_t s = 0; s < n_seen; ++s) {
       duplicate |= seen[s] == cand.channel;
@@ -430,7 +625,8 @@ bool Simulator::pick_misroute_channel(RouterId r, NodeId dst,
   return have;
 }
 
-bool Simulator::ugal_prefers_misroute(RouterId r, std::int32_t packet,
+bool Simulator::ugal_prefers_misroute(Shard& sh, RouterId r,
+                                      std::int32_t packet,
                                       const NonminCandidate& cand,
                                       bool global_info) {
   const auto pi = static_cast<std::size_t>(packet);
@@ -460,10 +656,10 @@ bool Simulator::ugal_prefers_misroute(RouterId r, std::int32_t packet,
     // unless a term is this router's own first hop, already counted above.
     RemoteProbe probe;
     if (topo_.min_remote_probe(r, d, probe)) {
-      q_min += occupancy_phits(probe.router, probe.port);
+      q_min += probe_occupancy_phits(sh, probe.router, probe.port);
     }
     if (topo_.nonmin_remote_probe(r, cand, probe)) {
-      q_val += occupancy_phits(probe.router, probe.port);
+      q_val += probe_occupancy_phits(sh, probe.router, probe.port);
     }
   }
   const std::int64_t threshold =
@@ -479,7 +675,8 @@ void Simulator::apply_global_misroute(std::int32_t packet,
   pool_.via_port[pi] = static_cast<std::int16_t>(cand.via_port);
 }
 
-void Simulator::decide_injection(RouterId r, std::int32_t packet) {
+void Simulator::decide_injection(Shard& sh, RouterId r, std::int32_t packet) {
+  Rng& rng = sh.rng;
   const auto pi = static_cast<std::size_t>(packet);
   pool_.flags[pi] |= PacketPool::kRouted;
   const NodeId d = pool_.dst[pi];
@@ -494,7 +691,7 @@ void Simulator::decide_injection(RouterId r, std::int32_t packet) {
   switch (kind) {
     case RoutingKind::kValiant: {
       NonminCandidate cand;
-      if (topo_.sample_valiant(rng_, r, d, cand)) {
+      if (topo_.sample_valiant(rng, r, d, cand)) {
         apply_global_misroute(packet, cand);
         note_misroute(r, packet, telemetry::MisrouteCause::kValiant);
       }
@@ -503,8 +700,8 @@ void Simulator::decide_injection(RouterId r, std::int32_t packet) {
     case RoutingKind::kUgalL:
     case RoutingKind::kUgalG: {
       NonminCandidate cand;
-      if (pick_misroute_channel(r, d, false, true, cand) &&
-          ugal_prefers_misroute(r, packet, cand,
+      if (pick_misroute_channel(sh, r, d, false, true, cand) &&
+          ugal_prefers_misroute(sh, r, packet, cand,
                                 kind == RoutingKind::kUgalG)) {
         apply_global_misroute(packet, cand);
         note_misroute(r, packet, telemetry::MisrouteCause::kUgal);
@@ -517,11 +714,12 @@ void Simulator::decide_injection(RouterId r, std::int32_t packet) {
       RemoteProbe probe;
       const bool min_congested =
           topo_.min_link_probe(r, d, probe) &&
-          credit_fires(probe.router, probe.port,
-                       params_.routing.olm_credit_fraction);
+          probe_credit_fires(sh, probe.router, probe.port,
+                             params_.routing.olm_credit_fraction);
       NonminCandidate cand;
-      if (pick_misroute_channel(r, d, false, true, cand) &&
-          (min_congested || ugal_prefers_misroute(r, packet, cand, false))) {
+      if (pick_misroute_channel(sh, r, d, false, true, cand) &&
+          (min_congested ||
+           ugal_prefers_misroute(sh, r, packet, cand, false))) {
         apply_global_misroute(packet, cand);
         note_misroute(r, packet, telemetry::MisrouteCause::kUgal);
       }
@@ -541,8 +739,9 @@ void Simulator::decide_injection(RouterId r, std::int32_t packet) {
   }
 }
 
-void Simulator::maybe_transit_misroute(RouterId r, std::int32_t q,
+void Simulator::maybe_transit_misroute(Shard& sh, RouterId r, std::int32_t q,
                                        std::int32_t packet) {
+  Rng& rng = sh.rng;
   const RoutingKind kind = params_.routing.kind;
   if (kind != RoutingKind::kOlm && kind != RoutingKind::kCbBase &&
       kind != RoutingKind::kCbHybrid && kind != RoutingKind::kCbEctn) {
@@ -580,22 +779,22 @@ void Simulator::maybe_transit_misroute(RouterId r, std::int32_t q,
       break;
     }
     case RoutingKind::kCbBase:
-      fire = base_trigger_.fires(counters_.value(flat_port(r, mp)), rng_);
+      fire = base_trigger_.fires(counters_.value(flat_port(r, mp)), rng);
       break;
     case RoutingKind::kCbHybrid: {
       // Base's full-threshold trigger, plus an earlier escape hatch when a
       // lower contention threshold and credit occupancy agree — misroutes a
       // little sooner than Base, never less.
       const std::int32_t counter = counters_.value(flat_port(r, mp));
-      fire = base_trigger_.fires(counter, rng_) ||
-             (hybrid_trigger_.fires(counter, rng_) &&
+      fire = base_trigger_.fires(counter, rng) ||
+             (hybrid_trigger_.fires(counter, rng) &&
               credit_fires(r, mp, params_.routing.hybrid_credit_fraction));
       use_occupancy = true;
       break;
     }
     case RoutingKind::kCbEctn: {
       const std::int32_t own = counters_.value(flat_port(r, mp));
-      fire = base_trigger_.fires(own, rng_) ||
+      fire = base_trigger_.fires(own, rng) ||
              own + ectn_.value(topo_.ectn_domain(r), min_ch) >=
                  params_.routing.ectn_combined_threshold;
       use_snapshot = true;
@@ -607,7 +806,9 @@ void Simulator::maybe_transit_misroute(RouterId r, std::int32_t q,
   if (!fire) return;
 
   NonminCandidate cand;
-  if (!pick_misroute_channel(r, d, use_snapshot, use_occupancy, cand)) return;
+  if (!pick_misroute_channel(sh, r, d, use_snapshot, use_occupancy, cand)) {
+    return;
+  }
   apply_global_misroute(packet, cand);
   q_request_[static_cast<std::size_t>(q)] =
       static_cast<std::int16_t>(routed_output(r, packet));
@@ -619,7 +820,8 @@ void Simulator::maybe_transit_misroute(RouterId r, std::int32_t q,
   }
 }
 
-void Simulator::maybe_local_detour(RouterId r, std::int32_t q) {
+void Simulator::maybe_local_detour(Shard& sh, RouterId r, std::int32_t q) {
+  Rng& rng = sh.rng;
   if (!params_.routing.allow_local_misroute) return;
   const RoutingKind kind = params_.routing.kind;
   if (kind != RoutingKind::kOlm && kind != RoutingKind::kCbBase &&
@@ -639,14 +841,14 @@ void Simulator::maybe_local_detour(RouterId r, std::int32_t q) {
   if (kind == RoutingKind::kOlm) {
     triggered = credit_fires(r, rp, params_.routing.olm_credit_fraction);
   } else {
-    triggered = base_trigger_.fires(counters_.value(flat_port(r, rp)), rng_);
+    triggered = base_trigger_.fires(counters_.value(flat_port(r, rp)), rng);
   }
   if (!triggered) return;
 
   // Pick a random alternative local port with a free link and credits.
   for (std::int32_t attempt = 0; attempt < 4; ++attempt) {
     const auto ap = static_cast<PortIndex>(
-        rng_.next_below(static_cast<std::uint64_t>(locals)));
+        rng.next_below(static_cast<std::uint64_t>(locals)));
     if (ap == rp) continue;
     if (fault_on_ && !health_.link_up(r, ap)) continue;
     const std::size_t flat = static_cast<std::size_t>(flat_port(r, ap));
@@ -665,36 +867,50 @@ void Simulator::maybe_local_detour(RouterId r, std::int32_t q) {
 // ---------------------------------------------------------------------------
 // Per-cycle phases
 
-void Simulator::link_heap_push(std::uint64_t key) {
+void Simulator::link_heap_push(Shard& sh, std::uint64_t key) {
   // dfsim-check: allow(CHK-ALLOC): reserved to the distinct-link bound
-  link_heap_.push_back(key);
-  std::push_heap(link_heap_.begin(), link_heap_.end(),
+  sh.link_heap.push_back(key);
+  std::push_heap(sh.link_heap.begin(), sh.link_heap.end(),
                  std::greater<std::uint64_t>{});
 }
 
-std::uint64_t Simulator::link_heap_pop() {
-  std::pop_heap(link_heap_.begin(), link_heap_.end(),
+std::uint64_t Simulator::link_heap_pop(Shard& sh) {
+  std::pop_heap(sh.link_heap.begin(), sh.link_heap.end(),
                 std::greater<std::uint64_t>{});
-  const std::uint64_t key = link_heap_.back();
-  link_heap_.pop_back();
+  const std::uint64_t key = sh.link_heap.back();
+  sh.link_heap.pop_back();
   return key;
 }
 
-void Simulator::deliver_arrivals() {
+void Simulator::ring_insert(Shard& sh, std::int32_t flat,
+                            const LinkEvent& ev) {
+  const auto l = static_cast<std::size_t>(flat);
+  assert(ring_count_[l] < ring_cap_[l]);
+  const std::int32_t slot =
+      ring_offset_[l] + (ring_head_[l] + ring_count_[l]) % ring_cap_[l];
+  ring_slab_[static_cast<std::size_t>(slot)] = ev;
+  // A ring going non-empty registers its (only possible due) front entry in
+  // the due-link heap; rings already in flight keep their existing key.
+  if (ring_count_[l]++ == 0) {
+    link_heap_push(sh, link_key(ev.arrival, flat));
+  }
+}
+
+void Simulator::deliver_arrivals(Shard& sh) {
   // Per-link FIFO rings: arrivals on a link are strictly increasing and
   // spaced >= psize cycles, so only the front entry can be due and each
   // ring contributes one heap key. Idle links cost nothing; same-cycle
   // arrivals pop in ascending link order (the key's low bits), matching
   // the pre-active-set full scan bit-exactly.
-  while (!link_heap_.empty()) {
-    const std::uint64_t top = link_heap_.front();
+  while (!sh.link_heap.empty()) {
+    const std::uint64_t top = sh.link_heap.front();
     if (static_cast<Cycle>(top >> kLinkBits) != now_) {
       assert(static_cast<Cycle>(top >> kLinkBits) > now_);
       break;
     }
     const auto l = static_cast<std::size_t>(
         top & ((std::uint64_t{1} << kLinkBits) - 1));
-    (void)link_heap_pop();
+    (void)link_heap_pop(sh);
     const LinkEvent ev =
         ring_slab_[static_cast<std::size_t>(ring_offset_[l] + ring_head_[l])];
     assert(ev.arrival == now_);
@@ -702,7 +918,7 @@ void Simulator::deliver_arrivals() {
     if (--ring_count_[l] > 0) {
       const LinkEvent& next = ring_slab_[static_cast<std::size_t>(
           ring_offset_[l] + ring_head_[l])];
-      link_heap_push(link_key(next.arrival, static_cast<std::int32_t>(l)));
+      link_heap_push(sh, link_key(next.arrival, static_cast<std::int32_t>(l)));
     }
     if (trace_on_) {
       tracer_.record_hop(now_, ev.packet, ev.down_queue / (radix_ * vmax_),
@@ -710,30 +926,40 @@ void Simulator::deliver_arrivals() {
                          static_cast<std::uint8_t>((ev.down_queue / vmax_) %
                                                    radix_));
     }
-    push_queue(ev.down_queue, ev.packet);
+    push_queue(sh, ev.down_queue, ev.packet);
   }
 }
 
-void Simulator::inject_traffic() {
+void Simulator::inject_traffic(Shard& sh) {
   // All pattern logic lives in the traffic model (pre-resolved tables, own
-  // RNG); the engine just places whatever the model emits.
-  traffic_.begin_cycle(now_);
+  // RNG); the engine just places whatever the model emits. Each shard's
+  // model instance is restricted to the shard's terminals.
+  Rng& rng = sh.rng;
+  TrafficModel& traffic = *sh.traffic;
+  traffic.begin_cycle(now_);
   Injection inj;
-  while (traffic_.next(inj)) {
-    ++metrics_.generated;
-    ++totals_.generated;
+  while (traffic.next(inj)) {
+    ++sh.metrics.generated;
+    ++sh.totals.generated;
 
     const RouterId r = topo_.router_of_node(inj.src);
     const PortIndex ip = fwd_ + (inj.src % topo_.concentration());
     const std::int32_t q = queue_index(r, ip, 0);
     if (q_free_[static_cast<std::size_t>(q)] <= 0) {
-      ++metrics_.refused;
-      ++totals_.refused;
+      ++sh.metrics.refused;
+      ++sh.totals.refused;
       if (telemetry_on_) sink_.count_refusal(r);
       continue;
     }
 
-    const std::int32_t packet = pool_.allocate();
+    const std::int32_t packet = allocate_packet(sh);
+    if (packet < 0) {
+      // Sharded id range exhausted (never happens serial: the pool grows).
+      // Deterministic back-pressure, same accounting as a full queue.
+      ++sh.metrics.refused;
+      ++sh.totals.refused;
+      continue;
+    }
     pool_.reset_packet(packet);
     const auto pi = static_cast<std::size_t>(packet);
     pool_.src[pi] = inj.src;
@@ -742,33 +968,35 @@ void Simulator::inject_traffic() {
     if (telemetry_on_) sink_.count_injection(r);
     if (trace_on_) tracer_.on_inject(now_, packet, r, inj.dst);
     if (params_.traffic.inorder_fraction > 0.0 &&
-        rng_.next_bool(params_.traffic.inorder_fraction)) {
+        rng.next_bool(params_.traffic.inorder_fraction)) {
       pool_.flags[pi] |= PacketPool::kInorder;
     }
     --q_free_[static_cast<std::size_t>(q)];
-    push_queue(q, packet);
+    push_queue(sh, q, packet);
   }
 }
 
-void Simulator::route_and_allocate() {
+void Simulator::route_and_allocate(Shard& sh) {
   // Active-set walk: routers with any occupied queue, then that router's
   // occupied queues in ascending (port, vc) bit order — exactly the dense
   // triple loop's visit order over non-empty queues, so head-wait
   // re-evaluation (and its RNG draws) happen in the original sequence.
   // Grants mutate only the router being processed (depart pops its own
-  // input queues; departures land on link rings, not queues), so iterating
-  // over word copies is safe.
+  // input queues; departures land on link rings or outboxes, not queues),
+  // so iterating over word copies is safe.
   const std::int32_t qwpr = queue_words_per_router_;
-  for (std::size_t rw = 0; rw < router_active_.size(); ++rw) {
-    std::uint64_t rbits = router_active_[rw];
+  for (std::size_t rw = 0; rw < sh.router_active.size(); ++rw) {
+    std::uint64_t rbits = sh.router_active[rw];
     while (rbits != 0) {
       const int rbit = std::countr_zero(rbits);
       rbits &= rbits - 1;
-      const auto r = static_cast<RouterId>(rw * 64 + rbit);
+      const auto r =
+          sh.r_lo + static_cast<RouterId>(rw * 64 + static_cast<std::size_t>(
+                                                        rbit));
       const std::size_t qbase =
           static_cast<std::size_t>(r) * static_cast<std::size_t>(qwpr);
       const std::int32_t q0 = r * radix_ * vmax_;
-      request_batch_.clear();
+      sh.request_batch.clear();
       for (std::int32_t w = 0; w < qwpr; ++w) {
         std::uint64_t qbits = queue_active_[qbase + static_cast<std::size_t>(w)];
         while (qbits != 0) {
@@ -784,8 +1012,8 @@ void Simulator::route_and_allocate() {
             // global misrouting and consider an opportunistic local detour.
             const std::int32_t packet = slab_[static_cast<std::size_t>(
                 q_offset_[qi] + q_head_[qi])];
-            maybe_transit_misroute(r, q, packet);
-            maybe_local_detour(r, q);
+            maybe_transit_misroute(sh, r, q, packet);
+            maybe_local_detour(sh, r, q);
           }
           q_wait_[qi] = advance_head_wait(q_wait_[qi]);
 
@@ -815,29 +1043,29 @@ void Simulator::route_and_allocate() {
               continue;
             }
           }
-          request_batch_.add(static_cast<PortIndex>(local / vmax_),
-                             static_cast<VcIndex>(local % vmax_), out);
+          sh.request_batch.add(static_cast<PortIndex>(local / vmax_),
+                               static_cast<VcIndex>(local % vmax_), out);
         }
       }
-      if (request_batch_.empty()) continue;
+      if (sh.request_batch.empty()) continue;
 
       SeparableAllocator& alloc = allocators_[static_cast<std::size_t>(r)];
       alloc.begin_cycle();
       for (std::int32_t it = 0; it < params_.router.speedup; ++it) {
-        if (alloc.iterate(request_batch_).empty() && it > 0) break;
+        if (alloc.iterate(sh.request_batch).empty() && it > 0) break;
       }
       for (const AllocGrant& grant : alloc.cycle_grants()) {
-        depart(r, grant);
+        depart(sh, r, grant);
       }
     }
   }
 }
 
-void Simulator::depart(RouterId r, const AllocGrant& grant) {
+void Simulator::depart(Shard& sh, RouterId r, const AllocGrant& grant) {
   const std::int32_t q = queue_index(r, grant.in, grant.vc);
   const auto qi = static_cast<std::size_t>(q);
   const std::int16_t counted = q_counted_[qi];
-  const std::int32_t packet = pop_queue(q);
+  const std::int32_t packet = pop_queue(sh, q);
   counters_.on_tail_departure(flat_port(r, counted));
 
   const PortIndex out = grant.out;
@@ -845,7 +1073,7 @@ void Simulator::depart(RouterId r, const AllocGrant& grant) {
   out_busy_until_[flat] = now_ + psize_;
 
   if (out >= fwd_) {
-    deliver(r, packet);
+    deliver(sh, r, packet);
     return;
   }
 
@@ -853,17 +1081,17 @@ void Simulator::depart(RouterId r, const AllocGrant& grant) {
   if (fault_on_) {
     // Hard invariant (gated == 0): the request filter in route_and_allocate
     // never lets a head depart onto a down link.
-    if (!health_.link_up(r, out)) ++metrics_.dead_link_hops;
+    if (!health_.link_up(r, out)) ++sh.metrics.dead_link_hops;
     if (pool_.hops[pi] >= hop_cap_) {
       // Livelock guard: rerouted around faults past any plausible path
       // length; drop rather than circulate forever.
-      ++metrics_.undeliverable;
-      ++totals_.undeliverable;
+      ++sh.metrics.undeliverable;
+      ++sh.totals.undeliverable;
       if (telemetry_on_) sink_.count_undeliverable();
       if (trace_on_) {
         tracer_.close(now_, packet, r, telemetry::TraceEvent::kDrop);
       }
-      pool_.release(packet);
+      release_packet(sh, packet);
       return;
     }
     pool_.hops[pi] = static_cast<std::uint16_t>(pool_.hops[pi] + 1);
@@ -889,21 +1117,26 @@ void Simulator::depart(RouterId r, const AllocGrant& grant) {
     pool_.target_router[pi] = topo_.router_of_node(pool_.dst[pi]);
   }
 
-  assert(ring_count_[flat] < ring_cap_[flat]);
   Cycle arrival = now_ + link_delay_[flat];
   if (fault_on_) arrival += health_.extra_latency(r, out);
-  const std::int32_t slot =
-      ring_offset_[flat] + (ring_head_[flat] + ring_count_[flat]) %
-                               ring_cap_[flat];
-  ring_slab_[static_cast<std::size_t>(slot)] = LinkEvent{arrival, packet, down};
-  // A ring going non-empty registers its (only possible due) front entry in
-  // the due-link heap; rings already in flight keep their existing key.
-  if (ring_count_[flat]++ == 0) {
-    link_heap_push(link_key(arrival, static_cast<std::int32_t>(flat)));
+  const auto lid = static_cast<std::int32_t>(flat);
+  if (n_shards_ == 1 || link_owner_[flat] == sh.index) {
+    ring_insert(sh, lid, LinkEvent{arrival, packet, down});
+  } else {
+    // The ring belongs to the downstream shard: hand the traversal over
+    // through its inbox; it ring-inserts at its next merge point. Arrivals
+    // are several cycles out, so the one-cycle handoff loses nothing.
+    ShardMessage m;
+    m.kind = ShardMessage::Kind::kLinkSend;
+    m.link = lid;
+    m.queue = down;
+    m.packet = packet;
+    m.arrival = arrival;
+    push_msg(sh, link_owner_[flat], m);
   }
 }
 
-void Simulator::deliver(RouterId r, std::int32_t packet) {
+void Simulator::deliver(Shard& sh, RouterId r, std::int32_t packet) {
   const auto pi = static_cast<std::size_t>(packet);
   const Cycle latency =
       now_ + params_.router.pipeline_cycles + psize_ - pool_.birth[pi];
@@ -911,44 +1144,50 @@ void Simulator::deliver(RouterId r, std::int32_t packet) {
   const bool mis_global = (flags & PacketPool::kMisGlobal) != 0;
   const bool mis_local = (flags & PacketPool::kMisLocal) != 0;
 
-  ++metrics_.delivered;
-  ++totals_.delivered;
-  metrics_.delivered_phits += psize_;
-  metrics_.latency_sum += static_cast<double>(latency);
-  metrics_.latency_hist.add(latency);
-  if (mis_global) ++metrics_.misrouted;
-  if (mis_local) ++metrics_.local_misrouted;
-  if (!mis_global && !mis_local) ++metrics_.minimal_path;
+  ++sh.metrics.delivered;
+  ++sh.totals.delivered;
+  sh.metrics.delivered_phits += psize_;
+  sh.metrics.latency_sum += static_cast<double>(latency);
+  sh.metrics.latency_hist.add(latency);
+  if (mis_global) ++sh.metrics.misrouted;
+  if (mis_local) ++sh.metrics.local_misrouted;
+  if (!mis_global && !mis_local) ++sh.metrics.minimal_path;
 
   if (log_deliveries_) {
-    if (deliveries_.size() == deliveries_.capacity()) ++log_growth_;
-    // dfsim-check: allow(CHK-ALLOC): growth is counted in log_growth_
-    deliveries_.push_back(Delivery{pool_.birth[pi], latency, mis_global,
-                                   !mis_global && !mis_local});
+    if (sh.deliveries.size() == sh.deliveries.capacity()) ++sh.log_growth;
+    // dfsim-check: allow(CHK-ALLOC): growth is counted in log_growth
+    sh.deliveries.push_back(Delivery{pool_.birth[pi], latency, mis_global,
+                                     !mis_global && !mis_local});
   }
   if (telemetry_on_) sink_.count_delivery(r);
   if (trace_on_) {
     tracer_.close(now_, packet, r, telemetry::TraceEvent::kDeliver,
                   static_cast<std::uint32_t>(latency));
   }
-  pool_.release(packet);
+  release_packet(sh, packet);
 }
 
-void Simulator::update_ectn() {
+void Simulator::update_ectn(Shard& sh) {
   if (!topo_.supports_ectn()) return;
   const Cycle period = params_.routing.ectn_update_period;
   if (period <= 0 || now_ % period != 0) return;
   const bool want_snapshot = params_.routing.kind == RoutingKind::kCbEctn;
   if (!want_snapshot && !ectn_monitor_enabled_) return;
 
+  // Each router's slots map to distinct (domain, channel) cells (the
+  // dragonfly assigns channel local_index * h + i), so shards write
+  // disjoint parts of the snapshot; the surrounding barriers order the
+  // writes against every reader.
   const std::int32_t slots = topo_.ectn_router_slots();
-  for (RouterId r = 0; r < topo_.routers(); ++r) {
+  for (RouterId r = sh.r_lo; r < sh.r_hi; ++r) {
     for (std::int32_t i = 0; i < slots; ++i) {
       const EctnSlot slot = topo_.ectn_slot(r, i);
       const auto value = static_cast<std::int16_t>(
           counters_.value(flat_port(r, slot.port)));
       if (want_snapshot) ectn_.set(slot.domain, slot.channel, value);
-      ectn_scratch_[static_cast<std::size_t>(i)] = value;
+      if (ectn_monitor_enabled_) {
+        ectn_scratch_[static_cast<std::size_t>(i)] = value;
+      }
     }
     if (ectn_monitor_enabled_) {
       ectn_monitor_.on_update(r, ectn_scratch_.data());
@@ -958,27 +1197,45 @@ void Simulator::update_ectn() {
 }
 
 // ---------------------------------------------------------------------------
-// Public driver
+// Fault overlay
 
-void Simulator::advance_faults() {
+void Simulator::advance_faults_serial() {
   health_.apply(fault_, now_);
   fault_next_event_ = fault_.next_event_after(now_);
+}
 
+void Simulator::purge_faulted_rings(Shard& sh) {
   // Drop in-flight packets on links that just went down: each drop returns
   // the reserved downstream credit and releases the packet, so conservation
   // (generated - refused == delivered + dropped + undeliverable +
-  // in-network) keeps holding exactly.
+  // in-network) keeps holding exactly. Sharded: each shard purges only the
+  // rings it owns; credits whose upstream is remote ride the inbox and land
+  // at the next merge.
   bool purged = false;
   for (const std::int32_t id : fault_.faulty_links()) {
     const auto l = static_cast<std::size_t>(id);
+    if (n_shards_ > 1 && link_owner_[l] != sh.index) continue;
     if (ring_count_[l] == 0) continue;
     if (health_.link_up(id / radix_, id % radix_)) continue;
     while (ring_count_[l] > 0) {
       const LinkEvent& ev = ring_slab_[static_cast<std::size_t>(
           ring_offset_[l] + ring_head_[l])];
-      ++q_free_[static_cast<std::size_t>(ev.down_queue)];
-      ++metrics_.dropped;
-      ++totals_.dropped;
+      if (n_shards_ == 1) {
+        ++q_free_[static_cast<std::size_t>(ev.down_queue)];
+      } else {
+        const std::int32_t owner = credit_owner_[static_cast<std::size_t>(
+            ev.down_queue / vmax_)];
+        if (owner == sh.index) {
+          ++q_free_[static_cast<std::size_t>(ev.down_queue)];
+        } else {
+          ShardMessage m;
+          m.kind = ShardMessage::Kind::kCredit;
+          m.queue = ev.down_queue;
+          push_msg(sh, owner, m);
+        }
+      }
+      ++sh.metrics.dropped;
+      ++sh.totals.dropped;
       if (telemetry_on_) sink_.count_drop();
       if (trace_on_) {
         tracer_.close(now_, ev.packet,
@@ -986,7 +1243,7 @@ void Simulator::advance_faults() {
                                                     radix_)),
                       telemetry::TraceEvent::kDrop);
       }
-      pool_.release(ev.packet);
+      release_packet(sh, ev.packet);
       ring_head_[l] = (ring_head_[l] + 1) % ring_cap_[l];
       --ring_count_[l];
     }
@@ -994,50 +1251,250 @@ void Simulator::advance_faults() {
   }
   if (!purged) return;
 
-  // Rebuild the due-link heap so the one-key-per-non-empty-ring invariant
-  // survives the purge (ties keep popping in ascending link order).
-  link_heap_.clear();
+  // Rebuild the shard's due-link heap so the one-key-per-non-empty-ring
+  // invariant survives the purge (ties keep popping in ascending link
+  // order).
+  sh.link_heap.clear();
   for (std::size_t l = 0; l < ring_count_.size(); ++l) {
+    // Ownership first: every shard purges concurrently, so ring_count_ of a
+    // link another shard owns may be mid-write — don't even read it.
+    if (n_shards_ > 1 && link_owner_[l] != sh.index) continue;
     if (ring_count_[l] == 0) continue;
     const LinkEvent& front = ring_slab_[static_cast<std::size_t>(
         ring_offset_[l] + ring_head_[l])];
-    link_heap_push(link_key(front.arrival, static_cast<std::int32_t>(l)));
+    link_heap_push(sh, link_key(front.arrival, static_cast<std::int32_t>(l)));
   }
 }
 
-void Simulator::step() {
+// ---------------------------------------------------------------------------
+// Sharded execution
+
+void Simulator::push_msg(Shard& sh, std::int32_t dst,
+                         const ShardMessage& msg) {
+  std::vector<ShardMessage>& box = sh.outbox[static_cast<std::size_t>(dst)];
+  if (box.size() == box.capacity()) ++sh.msg_growth;
+  // dfsim-check: allow(CHK-ALLOC): growth is counted in msg_growth
+  box.push_back(msg);
+}
+
+std::int32_t Simulator::allocate_packet(Shard& sh) {
+  if (n_shards_ == 1) return pool_.allocate();
+  if (sh.free_ids.empty()) return -1;
+  const std::int32_t id = sh.free_ids.back();
+  sh.free_ids.pop_back();
+  ++sh.live;
+  return id;
+}
+
+void Simulator::release_packet(Shard& sh, std::int32_t packet) {
+  if (n_shards_ == 1) {
+    pool_.release(packet);
+    return;
+  }
+  // `live` is a per-shard delta (allocations minus releases, wherever the
+  // id came from), so the sum over shards counts in-network packets
+  // exactly even while an id rides an inbox back to its range owner.
+  --sh.live;
+  const auto it = std::upper_bound(shard_id_base_.begin(),
+                                   shard_id_base_.end(), packet);
+  const auto owner =
+      static_cast<std::int32_t>(it - shard_id_base_.begin()) - 1;
+  if (owner == sh.index) {
+    // dfsim-check: allow(CHK-ALLOC): reserved to the shard id-range size
+    sh.free_ids.push_back(packet);
+  } else {
+    ShardMessage m;
+    m.kind = ShardMessage::Kind::kFreeId;
+    m.packet = packet;
+    push_msg(sh, owner, m);
+  }
+}
+
+void Simulator::merge_inboxes(Shard& sh) {
+  // Fixed merge order — ascending source shard, FIFO within each box — is
+  // what makes a sharded run a pure function of (params, seed, shards).
+  for (std::int32_t src = 0; src < n_shards_; ++src) {
+    std::vector<ShardMessage>& box =
+        shards_[static_cast<std::size_t>(src)].outbox[
+            static_cast<std::size_t>(sh.index)];
+    for (const ShardMessage& m : box) {
+      switch (m.kind) {
+        case ShardMessage::Kind::kLinkSend:
+          ring_insert(sh, m.link, LinkEvent{m.arrival, m.packet, m.queue});
+          break;
+        case ShardMessage::Kind::kCredit:
+          ++q_free_[static_cast<std::size_t>(m.queue)];
+          break;
+        case ShardMessage::Kind::kFreeId:
+          // dfsim-check: allow(CHK-ALLOC): reserved to the shard id-range size
+          sh.free_ids.push_back(m.packet);
+          break;
+      }
+    }
+    box.clear();
+  }
+  if (snap_on_) {
+    // Publish this shard's forward-port occupancy (credits just applied)
+    // for the remote probes of other shards this cycle.
+    for (RouterId r = sh.r_lo; r < sh.r_hi; ++r) {
+      for (PortIndex out = 0; out < fwd_; ++out) {
+        occ_snap_[static_cast<std::size_t>(flat_port(r, out))] =
+            occupancy_phits(r, out);
+      }
+    }
+  }
+}
+
+bool Simulator::ectn_update_due() const {
+  if (!topo_.supports_ectn()) return false;
+  const Cycle period = params_.routing.ectn_update_period;
+  if (period <= 0 || now_ % period != 0) return false;
+  return params_.routing.kind == RoutingKind::kCbEctn ||
+         ectn_monitor_enabled_;
+}
+
+void Simulator::cycle_parallel(Shard& sh) {
+  // Phase schedule for this cycle, published by shard 0 before the last
+  // barrier of the previous cycle (or by run_parallel for the first), so
+  // every shard executes the same barrier count.
+  const bool fault_cycle = fault_cycle_;
+  const bool ectn_cycle = ectn_cycle_;
+
+  // Merge point: apply cross-shard events from the previous cycle. Every
+  // shard is past its route phase (dispatch barrier or end-of-cycle
+  // barrier), so outboxes addressed to us are quiescent.
+  merge_inboxes(sh);
+
+  if (fault_on_ && fault_cycle) {
+    // The health map is global: one shard refreshes it while the rest wait.
+    // The barrier also fences purge's outbox appends from the merges above.
+    if (sh.index == 0) advance_faults_serial();
+    barrier_->arrive_and_wait();
+    purge_faulted_rings(sh);
+  }
+
+  barrier_->arrive_and_wait();  // merges/purges done; cycle phases begin
+  deliver_arrivals(sh);
+  inject_traffic(sh);
+  if (ectn_cycle) {
+    // Snapshot write window: counters stop changing at the barrier above,
+    // and no shard reads the snapshot until the one below.
+    barrier_->arrive_and_wait();
+    update_ectn(sh);
+    barrier_->arrive_and_wait();
+  }
+  route_and_allocate(sh);
+
+  barrier_->arrive_and_wait();  // route done everywhere; outboxes quiescent
+  if (sh.index == 0) {
+    ++now_;
+    fault_cycle_ = fault_on_ && now_ == fault_next_event_;
+    ectn_cycle_ = ectn_update_due();
+  }
+  barrier_->arrive_and_wait();  // now_ and the next schedule published
+}
+
+void Simulator::worker_loop(std::int32_t shard_index) {
+  Shard& sh = shards_[static_cast<std::size_t>(shard_index)];
+  std::uint64_t seen = 0;
+  for (;;) {
+    Cycle cycles = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      cycles = pending_cycles_;
+    }
+    const std::int32_t jitter = jitter_us_.load(std::memory_order_relaxed);
+    if (jitter > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(jitter * shard_index));
+    }
+    for (Cycle i = 0; i < cycles; ++i) cycle_parallel(sh);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (++done_count_ == n_shards_ - 1) cv_.notify_all();
+  }
+}
+
+void Simulator::run_parallel(Cycle cycles) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_cycles_ = cycles;
+    done_count_ = 0;
+    // Initial phase schedule; subsequent cycles are published by shard 0.
+    fault_cycle_ = fault_on_ && now_ == fault_next_event_;
+    ectn_cycle_ = ectn_update_due();
+    ++epoch_;
+  }
+  cv_.notify_all();
+  Shard& sh = shards_[0];
+  for (Cycle i = 0; i < cycles; ++i) cycle_parallel(sh);
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return done_count_ == n_shards_ - 1; });
+}
+
+// ---------------------------------------------------------------------------
+// Public driver
+
+void Simulator::step_serial() {
   if (profile_on_) {
     step_profiled();
     return;
   }
-  if (fault_on_ && now_ == fault_next_event_) advance_faults();
-  deliver_arrivals();
-  inject_traffic();
-  update_ectn();
-  route_and_allocate();
+  Shard& sh = shards_[0];
+  if (fault_on_ && now_ == fault_next_event_) {
+    advance_faults_serial();
+    purge_faulted_rings(sh);
+  }
+  deliver_arrivals(sh);
+  inject_traffic(sh);
+  update_ectn(sh);
+  route_and_allocate(sh);
   if (telemetry_on_ && now_ == telemetry_next_sample_) flush_telemetry();
   ++now_;
 }
 
+void Simulator::step() {
+  if (n_shards_ > 1) {
+    run_parallel(1);
+    return;
+  }
+  step_serial();
+}
+
+void Simulator::run(Cycle cycles) {
+  if (cycles <= 0) return;
+  if (n_shards_ > 1) {
+    run_parallel(cycles);
+    return;
+  }
+  for (Cycle i = 0; i < cycles; ++i) step_serial();
+}
+
 void Simulator::step_profiled() {
-  // Same phase sequence as step(), with steady_clock stamps between phases.
-  // Timing never feeds back into simulation state, so a profiled run stays
-  // bit-exact with an unprofiled one.
+  // Same phase sequence as step_serial(), with steady_clock stamps between
+  // phases. Timing never feeds back into simulation state, so a profiled
+  // run stays bit-exact with an unprofiled one. Serial engine only.
+  Shard& sh = shards_[0];
   using Clock = telemetry::PhaseProfiler::Clock;
   const Clock::time_point t0 = Clock::now();
-  if (fault_on_ && now_ == fault_next_event_) advance_faults();
+  if (fault_on_ && now_ == fault_next_event_) {
+    advance_faults_serial();
+    purge_faulted_rings(sh);
+  }
   const Clock::time_point t1 = Clock::now();
   profiler_.add(telemetry::Phase::kFaults, t0, t1);
-  deliver_arrivals();
+  deliver_arrivals(sh);
   const Clock::time_point t2 = Clock::now();
   profiler_.add(telemetry::Phase::kDeliver, t1, t2);
-  inject_traffic();
+  inject_traffic(sh);
   const Clock::time_point t3 = Clock::now();
   profiler_.add(telemetry::Phase::kInject, t2, t3);
-  update_ectn();
+  update_ectn(sh);
   const Clock::time_point t4 = Clock::now();
   profiler_.add(telemetry::Phase::kEctn, t3, t4);
-  route_and_allocate();
+  route_and_allocate(sh);
   const Clock::time_point t5 = Clock::now();
   profiler_.add(telemetry::Phase::kRoute, t4, t5);
   if (telemetry_on_ && now_ == telemetry_next_sample_) flush_telemetry();
@@ -1074,26 +1531,79 @@ void Simulator::flush_telemetry() {
   telemetry_next_sample_ = now_ + sink_.sample_period();
 }
 
-void Simulator::run(Cycle cycles) {
-  for (Cycle i = 0; i < cycles; ++i) step();
-}
+// ---------------------------------------------------------------------------
+// Measurement & merged views
 
 void Simulator::begin_measurement() {
-  metrics_ = Metrics{};
+  for (Shard& sh : shards_) sh.metrics = Metrics{};
   measure_start_ = now_;
+}
+
+const Simulator::Metrics& Simulator::metrics() const {
+  if (n_shards_ == 1) return shards_[0].metrics;
+  merged_metrics_ = Metrics{};
+  for (const Shard& sh : shards_) {
+    const Metrics& m = sh.metrics;
+    merged_metrics_.delivered += m.delivered;
+    merged_metrics_.delivered_phits += m.delivered_phits;
+    merged_metrics_.latency_sum += m.latency_sum;
+    merged_metrics_.misrouted += m.misrouted;
+    merged_metrics_.local_misrouted += m.local_misrouted;
+    merged_metrics_.minimal_path += m.minimal_path;
+    merged_metrics_.generated += m.generated;
+    merged_metrics_.refused += m.refused;
+    merged_metrics_.dropped += m.dropped;
+    merged_metrics_.undeliverable += m.undeliverable;
+    merged_metrics_.dead_link_hops += m.dead_link_hops;
+    merged_metrics_.latency_hist.merge(m.latency_hist);
+  }
+  return merged_metrics_;
+}
+
+const Simulator::Totals& Simulator::lifetime_totals() const {
+  if (n_shards_ == 1) return shards_[0].totals;
+  merged_totals_ = Totals{};
+  for (const Shard& sh : shards_) {
+    merged_totals_.generated += sh.totals.generated;
+    merged_totals_.refused += sh.totals.refused;
+    merged_totals_.delivered += sh.totals.delivered;
+    merged_totals_.dropped += sh.totals.dropped;
+    merged_totals_.undeliverable += sh.totals.undeliverable;
+  }
+  return merged_totals_;
+}
+
+std::int64_t Simulator::packets_in_network() const {
+  if (n_shards_ == 1) return static_cast<std::int64_t>(pool_.in_use());
+  std::int64_t live = 0;
+  for (const Shard& sh : shards_) live += sh.live;
+  return live;
+}
+
+const std::vector<Simulator::Delivery>& Simulator::delivery_log() const {
+  if (n_shards_ == 1) return shards_[0].deliveries;
+  merged_deliveries_.clear();
+  std::size_t total = 0;
+  for (const Shard& sh : shards_) total += sh.deliveries.size();
+  merged_deliveries_.reserve(total);
+  for (const Shard& sh : shards_) {
+    merged_deliveries_.insert(merged_deliveries_.end(), sh.deliveries.begin(),
+                              sh.deliveries.end());
+  }
+  return merged_deliveries_;
 }
 
 double Simulator::throughput() const {
   const Cycle cycles = measured_cycles();
   if (cycles <= 0) return 0.0;
-  return static_cast<double>(metrics_.delivered_phits) /
+  return static_cast<double>(metrics().delivered_phits) /
          (static_cast<double>(topo_.nodes()) * static_cast<double>(cycles));
 }
 
 double Simulator::generated_load() const {
   const Cycle cycles = measured_cycles();
   if (cycles <= 0) return 0.0;
-  return static_cast<double>(metrics_.generated) *
+  return static_cast<double>(metrics().generated) *
          static_cast<double>(psize_) /
          (static_cast<double>(topo_.nodes()) * static_cast<double>(cycles));
 }
@@ -1111,16 +1621,21 @@ double Simulator::backlog_per_node() const {
 
 void Simulator::set_traffic(const TrafficParams& traffic) {
   params_.traffic = traffic;
-  traffic_.reset_spec(traffic);
+  for (Shard& sh : shards_) sh.traffic->reset_spec(traffic);
 }
 
 void Simulator::start_trace_recording(std::size_t reserve_records) {
-  traffic_.start_recording(reserve_records);
+  if (n_shards_ > 1) {
+    throw std::invalid_argument(
+        "trace recording requires engine.threads = 1 (a shard sees only its "
+        "own sources)");
+  }
+  shards_[0].traffic->start_recording(reserve_records);
 }
 
 void Simulator::enable_delivery_log() {
   log_deliveries_ = true;
-  deliveries_.clear();
+  for (Shard& sh : shards_) sh.deliveries.clear();
 }
 
 void Simulator::enable_ectn_monitor(std::int32_t async_mult,
@@ -1129,6 +1644,10 @@ void Simulator::enable_ectn_monitor(std::int32_t async_mult,
     throw std::invalid_argument(
         "ECtN overhead monitor needs a topology with contention-broadcast "
         "support");
+  }
+  if (n_shards_ > 1) {
+    throw std::invalid_argument(
+        "ECtN overhead monitor requires engine.threads = 1");
   }
   const std::int32_t channels = topo_.ectn_channels();
   const std::int32_t id_bits = bits_for_value(channels - 1);
@@ -1139,17 +1658,24 @@ void Simulator::enable_ectn_monitor(std::int32_t async_mult,
 }
 
 std::int64_t Simulator::allocation_events() const {
-  return pool_.grow_events + log_growth_ + traffic_.record_growth_events();
+  std::int64_t events = pool_.grow_events;
+  for (const Shard& sh : shards_) {
+    events += sh.log_growth + sh.msg_growth +
+              sh.traffic->record_growth_events();
+  }
+  return events;
 }
 
 bool Simulator::debug_check_active_state() const {
   const std::int32_t routers = topo_.routers();
   const std::int32_t qwpr = queue_words_per_router_;
 
-  // (1) Queue-occupancy bits mirror q_size exactly; the router summary bit
-  // mirrors the OR of its queue words.
+  // (1) Queue-occupancy bits mirror q_size exactly; the owning shard's
+  // router summary bit mirrors the OR of the router's queue words.
   std::int64_t queued_packets = 0;
   for (RouterId r = 0; r < routers; ++r) {
+    const Shard& sh = shards_[static_cast<std::size_t>(
+        n_shards_ == 1 ? 0 : shard_of_router_[static_cast<std::size_t>(r)])];
     const std::size_t qbase =
         static_cast<std::size_t>(r) * static_cast<std::size_t>(qwpr);
     std::uint64_t any = 0;
@@ -1168,22 +1694,28 @@ bool Simulator::debug_check_active_state() const {
     for (std::int32_t w = 0; w < qwpr; ++w) {
       any |= queue_active_[qbase + static_cast<std::size_t>(w)];
     }
+    const std::int32_t rl = r - sh.r_lo;
     const bool rset =
-        (router_active_[static_cast<std::size_t>(r >> 6)] >> (r & 63)) & 1;
+        (sh.router_active[static_cast<std::size_t>(rl >> 6)] >> (rl & 63)) & 1;
     if (rset != (any != 0)) return false;
   }
 
-  // (2) The due-link heap holds exactly one entry per non-empty ring, keyed
-  // by that ring's front arrival, and every key is still in the future or
-  // due this cycle.
-  std::vector<std::uint64_t> keys(link_heap_);
-  std::sort(keys.begin(), keys.end());
-  std::size_t nonempty = 0;
+  // (2) Each shard's due-link heap holds exactly one entry per non-empty
+  // ring it owns, keyed by that ring's front arrival, and every key is
+  // still in the future or due this cycle.
+  std::vector<std::vector<std::uint64_t>> keys(shards_.size());
+  std::vector<std::size_t> nonempty(shards_.size(), 0);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    keys[s] = shards_[s].link_heap;
+    std::sort(keys[s].begin(), keys[s].end());
+  }
   std::int64_t inflight_packets = 0;
   for (std::size_t l = 0; l < ring_cap_.size(); ++l) {
     inflight_packets += ring_count_[l];
     if (ring_count_[l] == 0) continue;
-    ++nonempty;
+    const auto owner = static_cast<std::size_t>(
+        n_shards_ == 1 ? 0 : link_owner_[l]);
+    ++nonempty[owner];
     // Fault overlay: nothing may remain in flight on a down link (purged at
     // the fault event, never re-entered by the allocator filter).
     if (fault_on_ &&
@@ -1197,18 +1729,39 @@ bool Simulator::debug_check_active_state() const {
     if (front.arrival < now_) return false;
     const std::uint64_t key =
         link_key(front.arrival, static_cast<std::int32_t>(l));
-    if (!std::binary_search(keys.begin(), keys.end(), key)) return false;
+    if (!std::binary_search(keys[owner].begin(), keys[owner].end(), key)) {
+      return false;
+    }
   }
-  if (nonempty != link_heap_.size()) return false;
-  if (!std::is_heap(link_heap_.begin(), link_heap_.end(),
-                    std::greater<std::uint64_t>{})) {
-    return false;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (nonempty[s] != shards_[s].link_heap.size()) return false;
+    if (!std::is_heap(shards_[s].link_heap.begin(),
+                      shards_[s].link_heap.end(),
+                      std::greater<std::uint64_t>{})) {
+      return false;
+    }
   }
 
-  // (3) Pool accounting: every live packet sits in a queue or on a link.
-  if (pool_.in_use() !=
-      static_cast<std::size_t>(queued_packets + inflight_packets)) {
-    return false;
+  // (3) Pool accounting: every live packet sits in a queue, on a link, or
+  // (sharded) in a kLinkSend handoff waiting in an outbox.
+  std::int64_t pending_sends = 0;
+  for (const Shard& sh : shards_) {
+    for (const auto& box : sh.outbox) {
+      for (const ShardMessage& m : box) {
+        if (m.kind == ShardMessage::Kind::kLinkSend) ++pending_sends;
+      }
+    }
+  }
+  if (n_shards_ == 1) {
+    if (pool_.in_use() !=
+        static_cast<std::size_t>(queued_packets + inflight_packets)) {
+      return false;
+    }
+  } else {
+    if (packets_in_network() !=
+        queued_packets + inflight_packets + pending_sends) {
+      return false;
+    }
   }
 
   // (4) Lifetime packet conservation, drops included.

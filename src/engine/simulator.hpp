@@ -42,16 +42,40 @@
 // draw site in the original sequence. Refactors of this file must keep the
 // 18 goldens in tests/test_engine_equivalence.cpp bit-exact (see
 // ARCHITECTURE.md, "Bit-exactness rule").
+//
+// Sharded execution (engine.threads > 1): the router range is partitioned
+// into contiguous shards, one barrier-synced worker thread per shard (the
+// calling thread drives shard 0). Each shard owns its routers' queues,
+// credits, allocators, contention counters, its slice of the occupancy
+// bitmasks and due-link heap, a private RNG stream, a private traffic-model
+// instance restricted to the shard's terminals, and private metrics. State
+// that crosses a shard boundary — a packet departing onto a link whose
+// downstream router lives elsewhere, a credit return to an upstream shard, a
+// packet id going home to its allocating shard — travels through per-shard
+// outboxes applied at the next cycle's merge point in fixed (source shard,
+// FIFO) order, so results are a pure function of (params, seed,
+// engine.threads). threads = 1 runs the exact serial code path and stays
+// bit-exact with the goldens; threads > 1 is deterministic per shard count
+// but intentionally NOT bit-exact across shard counts (cross-shard credits
+// land one cycle late, remote occupancy probes read a cycle-start snapshot,
+// and each shard draws from its own RNG stream). See ARCHITECTURE.md,
+// "Sharded execution".
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "core/contention_counters.hpp"
 #include "core/ectn_state.hpp"
 #include "core/triggers.hpp"
 #include "engine/packet_pool.hpp"
+#include "engine/spin_barrier.hpp"
 #include "fault/fault_model.hpp"
 #include "router/allocator.hpp"
 #include "sim/config.hpp"
@@ -110,6 +134,10 @@ class Simulator {
   explicit Simulator(const SimParams& params);
   /// Runs on a caller-provided topology (tests, custom instances).
   Simulator(const SimParams& params, std::unique_ptr<const Topology> topology);
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
 
   void step();
   void run(Cycle cycles);
@@ -117,10 +145,14 @@ class Simulator {
   [[nodiscard]] Cycle now() const { return now_; }
   [[nodiscard]] const SimParams& params() const { return params_; }
   [[nodiscard]] const Topology& topology() const { return topo_; }
+  /// Shard count actually in use: min(engine.threads, routers).
+  [[nodiscard]] std::int32_t shard_count() const { return n_shards_; }
 
   /// Resets measurement counters; metrics() accumulates from this point.
   void begin_measurement();
-  [[nodiscard]] const Metrics& metrics() const { return metrics_; }
+  /// Measurement-window metrics; with threads > 1 the per-shard metrics are
+  /// merged in ascending shard order on each call.
+  [[nodiscard]] const Metrics& metrics() const;
   [[nodiscard]] Cycle measured_cycles() const { return now_ - measure_start_; }
 
   /// Lifetime (never reset) packet accounting for conservation checks:
@@ -133,16 +165,15 @@ class Simulator {
     std::int64_t dropped = 0;
     std::int64_t undeliverable = 0;
   };
-  [[nodiscard]] const Totals& lifetime_totals() const { return totals_; }
-  /// Packets currently held in queues or in flight on links.
-  [[nodiscard]] std::int64_t packets_in_network() const {
-    return static_cast<std::int64_t>(pool_.in_use());
-  }
+  [[nodiscard]] const Totals& lifetime_totals() const;
+  /// Packets currently held in queues or in flight on links (cross-shard
+  /// handoffs still in an outbox included).
+  [[nodiscard]] std::int64_t packets_in_network() const;
   /// Unaccounted packets (0 when conservation holds exactly).
   [[nodiscard]] std::int64_t conservation_error() const {
-    return totals_.generated - totals_.refused -
-           (totals_.delivered + totals_.dropped + totals_.undeliverable +
-            packets_in_network());
+    const Totals& t = lifetime_totals();
+    return t.generated - t.refused -
+           (t.delivered + t.dropped + t.undeliverable + packets_in_network());
   }
 
   /// Accepted load in phits/node/cycle over the measurement window; 0 while
@@ -157,7 +188,9 @@ class Simulator {
 
   /// Swaps the traffic pattern mid-run (transient experiments).
   void set_traffic(const TrafficParams& traffic);
-  [[nodiscard]] const TrafficModel& traffic_model() const { return traffic_; }
+  [[nodiscard]] const TrafficModel& traffic_model() const {
+    return *shards_[0].traffic;
+  }
 
   /// Records every subsequent injection attempt as a (cycle, src, dst)
   /// trace; replay it with TrafficKind::kTrace + traffic.trace_path (see
@@ -168,19 +201,20 @@ class Simulator {
   /// replays deterministically, but into a cold network (cycles are
   /// re-based to the recording start and the warmup traffic is not in the
   /// trace), so metrics need not match the recording run.
+  /// Requires engine.threads = 1 (a shard records only its own sources).
   void start_trace_recording(std::size_t reserve_records = 1u << 16);
   void write_recorded_trace(const std::string& path) const {
-    traffic_.write_recorded(path);
+    shards_[0].traffic->write_recorded(path);
   }
 
-  /// Per-delivery records for birth-bucketed transient analysis.
+  /// Per-delivery records for birth-bucketed transient analysis. With
+  /// threads > 1 the log is the concatenation of the per-shard logs in
+  /// ascending shard order (deterministic, but not birth-sorted).
   void enable_delivery_log();
-  [[nodiscard]] const std::vector<Delivery>& delivery_log() const {
-    return deliveries_;
-  }
+  [[nodiscard]] const std::vector<Delivery>& delivery_log() const;
 
   /// Live ECtN broadcast-overhead measurement (Section VI-B ablation).
-  /// Requires a topology with supports_ectn().
+  /// Requires a topology with supports_ectn() and engine.threads = 1.
   void enable_ectn_monitor(std::int32_t async_mult, std::int32_t urgent_delta);
   [[nodiscard]] const EctnOverheadMonitor& ectn_monitor() const {
     return ectn_monitor_;
@@ -204,8 +238,12 @@ class Simulator {
 
   /// Per-phase wall-time profiling (dfsim_run perf --phases). API-enabled
   /// like the ECtN monitor: wall time never affects results, so there is no
-  /// config key and the config hash is untouched.
+  /// config key and the config hash is untouched. Serial engine only.
   void enable_phase_profiler() {
+    if (n_shards_ > 1) {
+      throw std::invalid_argument(
+          "phase profiler requires engine.threads = 1");
+    }
     profile_on_ = true;
     profiler_.reset();
   }
@@ -213,8 +251,9 @@ class Simulator {
     return profiler_;
   }
 
-  /// Growth/allocation events since construction (pool growth, calendar or
-  /// log growth). Constant across steps == steady state allocates nothing.
+  /// Growth/allocation events since construction (pool growth, calendar,
+  /// log, or outbox growth). Constant across steps == steady state
+  /// allocates nothing.
   [[nodiscard]] std::int64_t allocation_events() const;
   /// Packet-pool heap growths alone (0 == the reserve bound held).
   [[nodiscard]] std::int64_t pool_grow_events() const {
@@ -225,9 +264,15 @@ class Simulator {
   /// scan of the dense state: every queue-occupancy bit matches q_size, the
   /// router summary mask matches the queue bits, the due-link heap holds
   /// exactly one well-formed entry per non-empty link ring, and the packet
-  /// pool population equals the packets sitting in queues plus rings.
+  /// pool population equals the packets sitting in queues plus rings (plus,
+  /// sharded, handoffs waiting in an outbox).
   /// O(routers * radix * vcs) and may allocate — tests only, not hot path.
   [[nodiscard]] bool debug_check_active_state() const;
+
+  /// Test hook: staggers worker-thread start by `us * shard_index`
+  /// microseconds on every dispatch, to shake out schedules under the
+  /// determinism tests. Applies to simulators process-wide; 0 disables.
+  static void debug_set_shard_jitter(std::int32_t us);
 
  private:
   struct LinkEvent {
@@ -241,40 +286,118 @@ class Simulator {
   /// both orders of magnitude past paper scale and any practical run).
   static constexpr int kLinkBits = 24;
 
+  /// Seed stride between shard RNG streams (routing and traffic). Shard 0
+  /// uses the raw seed, so the serial stream is the threads = 1 stream.
+  static constexpr std::uint64_t kShardSeedStride = 0xA24BAED4963EE407ull;
+
+  /// Cross-shard event carried through the destination shard's inbox and
+  /// applied at the next cycle's merge point (merge_inboxes) in fixed
+  /// (source shard, FIFO) order.
+  struct ShardMessage {
+    enum class Kind : std::uint8_t {
+      kLinkSend,  // packet departs onto a link owned downstream
+      kCredit,    // credit return for a queue whose upstream is remote
+      kFreeId,    // packet id going home to its allocating shard
+    };
+    Kind kind = Kind::kLinkSend;
+    std::int32_t link = -1;                // kLinkSend: flat link id
+    std::int32_t queue = -1;               // kLinkSend/kCredit: flat queue
+    std::int32_t packet = kInvalidPacket;  // kLinkSend/kFreeId
+    Cycle arrival = 0;                     // kLinkSend
+  };
+
+  /// One worker shard: a contiguous router range [r_lo, r_hi) plus every
+  /// piece of per-cycle mutable state that only that range's owner may
+  /// touch. With threads = 1, shard 0 spans everything and the serial step
+  /// runs against it unchanged (bit-exactness anchor). Cache-line aligned
+  /// so neighboring shards never share a line through this struct.
+  struct alignas(64) Shard {
+    std::int32_t index = 0;
+    RouterId r_lo = 0;
+    RouterId r_hi = 0;
+    NodeId n_lo = 0;  // = r_lo * concentration
+    NodeId n_hi = 0;  // = r_hi * concentration
+    Rng rng{0};       // routing decisions for owned routers
+    std::unique_ptr<TrafficModel> traffic;  // restricted to [n_lo, n_hi)
+    Metrics metrics;
+    Totals totals;
+    AllocRequestBatch request_batch;  // per-router sparse requests (reused)
+    // Router summary mask slice: bit (r - r_lo) of word (r - r_lo) / 64.
+    std::vector<std::uint64_t> router_active;
+    // Due-link min-heap over links this shard owns (downstream side).
+    std::vector<std::uint64_t> link_heap;
+    std::vector<Delivery> deliveries;
+    std::int64_t log_growth = 0;
+    // Sharded packet-id accounting: ids from [base[i], base[i+1]) are
+    // allocated here; `live` is this shard's net allocate-minus-release
+    // delta, so the sum over shards is the exact in-network population.
+    std::vector<std::int32_t> free_ids;
+    std::int64_t live = 0;
+    std::vector<std::vector<ShardMessage>> outbox;  // one per dest shard
+    std::int64_t msg_growth = 0;
+  };
+
   // --- construction helpers
   void build_layout();
+  void build_shards();
 
   // --- fault overlay
-  /// Refreshes the health map at a fault-event cycle, drops in-flight
-  /// packets on newly-dead links (credits returned, counted as dropped),
-  /// rebuilds the due-link heap, and schedules the next event.
-  void advance_faults();
+  /// Refreshes the health map at a fault-event cycle and schedules the next
+  /// one. Global state; sharded runs execute it on shard 0 only, behind a
+  /// barrier.
+  void advance_faults_serial();
+  /// Drops in-flight packets on this shard's newly-dead links (credits
+  /// returned, counted as dropped) and rebuilds the shard's due-link heap.
+  void purge_faulted_rings(Shard& sh);
 
   // --- per-cycle phases
-  void deliver_arrivals();
-  void inject_traffic();
-  void route_and_allocate();
-  void update_ectn();
+  void deliver_arrivals(Shard& sh);
+  void inject_traffic(Shard& sh);
+  void route_and_allocate(Shard& sh);
+  void update_ectn(Shard& sh);
 
   // --- queue helpers (flat queue index q)
   [[nodiscard]] std::int32_t queue_index(RouterId r, PortIndex in_port,
                                          VcIndex vc) const {
     return (r * radix_ + in_port) * vmax_ + vc;
   }
-  void push_queue(std::int32_t q, std::int32_t packet);
-  std::int32_t pop_queue(std::int32_t q);
-  void on_new_head(std::int32_t q);
+  void push_queue(Shard& sh, std::int32_t q, std::int32_t packet);
+  std::int32_t pop_queue(Shard& sh, std::int32_t q);
+  void on_new_head(Shard& sh, std::int32_t q);
 
   // --- active-set maintenance (queue occupancy bits + due-link heap)
-  void activate_queue(std::int32_t q);
-  void deactivate_queue(std::int32_t q);
+  void activate_queue(Shard& sh, std::int32_t q);
+  void deactivate_queue(Shard& sh, std::int32_t q);
   [[nodiscard]] static std::uint64_t link_key(Cycle arrival,
                                               std::int32_t link) {
     return (static_cast<std::uint64_t>(arrival) << kLinkBits) |
            static_cast<std::uint64_t>(link);
   }
-  void link_heap_push(std::uint64_t key);
-  std::uint64_t link_heap_pop();
+  void link_heap_push(Shard& sh, std::uint64_t key);
+  std::uint64_t link_heap_pop(Shard& sh);
+  /// Appends `ev` to link `flat`'s in-flight ring, registering the ring in
+  /// the shard's due-link heap when it goes non-empty.
+  void ring_insert(Shard& sh, std::int32_t flat, const LinkEvent& ev);
+
+  // --- sharded execution
+  void worker_loop(std::int32_t shard_index);
+  void run_parallel(Cycle cycles);
+  /// One cycle of shard `sh`, barrier-aligned with every other shard.
+  void cycle_parallel(Shard& sh);
+  /// Applies every message addressed to `sh` (source shards in ascending
+  /// order, FIFO within each), then refreshes this shard's slice of the
+  /// remote-occupancy snapshot.
+  void merge_inboxes(Shard& sh);
+  void push_msg(Shard& sh, std::int32_t dst, const ShardMessage& msg);
+  /// Pool front-end: the serial engine uses the growable pool free list;
+  /// sharded engines draw from the shard's private id range (-1 when the
+  /// range is exhausted — the injection is then refused deterministically).
+  [[nodiscard]] std::int32_t allocate_packet(Shard& sh);
+  void release_packet(Shard& sh, std::int32_t packet);
+  /// True when the coming cycle is an ECtN update cycle; pure function of
+  /// shared immutable config plus now_, so every shard agrees on the
+  /// barrier schedule.
+  [[nodiscard]] bool ectn_update_due() const;
 
   // --- observability (every call site is gated behind telemetry_on_ /
   // trace_on_ / profile_on_, so disabled runs take predicted-false branches
@@ -285,6 +408,8 @@ class Simulator {
   void flush_telemetry();
   /// step() body with steady_clock stamps around each phase.
   void step_profiled();
+  /// Serial step: the exact pre-sharding cycle sequence against shard 0.
+  void step_serial();
   /// Misroute attribution shared by sink and tracer.
   void note_misroute(RouterId r, std::int32_t packet,
                      telemetry::MisrouteCause cause) {
@@ -297,33 +422,46 @@ class Simulator {
   }
 
   // --- routing
-  void decide_injection(RouterId r, std::int32_t packet);
+  void decide_injection(Shard& sh, RouterId r, std::int32_t packet);
   [[nodiscard]] PortIndex route_output(RouterId r, std::int32_t packet) const;
   /// route_output plus fault-fallback attribution: when telemetry is on and
   /// the chosen output differs from the healthy-path preference, the
   /// divergence is counted as a kFaultFallback misroute.
   [[nodiscard]] PortIndex routed_output(RouterId r, std::int32_t packet);
-  void maybe_local_detour(RouterId r, std::int32_t q);
-  void maybe_transit_misroute(RouterId r, std::int32_t q, std::int32_t packet);
+  void maybe_local_detour(Shard& sh, RouterId r, std::int32_t q);
+  void maybe_transit_misroute(Shard& sh, RouterId r, std::int32_t q,
+                              std::int32_t packet);
   void apply_global_misroute(std::int32_t packet, const NonminCandidate& cand);
   /// Scored candidate sampling (counters, optional ECtN snapshot, optional
   /// local occupancy); false when no candidate was drawn.
-  [[nodiscard]] bool pick_misroute_channel(RouterId r, NodeId dst,
+  [[nodiscard]] bool pick_misroute_channel(Shard& sh, RouterId r, NodeId dst,
                                            bool use_snapshot,
                                            bool use_occupancy,
                                            NonminCandidate& best);
-  [[nodiscard]] bool ugal_prefers_misroute(RouterId r, std::int32_t packet,
+  [[nodiscard]] bool ugal_prefers_misroute(Shard& sh, RouterId r,
+                                           std::int32_t packet,
                                            const NonminCandidate& cand,
                                            bool global_info);
 
   // --- state probes
   [[nodiscard]] std::int32_t occupancy_phits(RouterId r, PortIndex out) const;
   [[nodiscard]] std::int32_t port_capacity_phits(PortIndex out) const;
+  /// occupancy_phits through the cycle-start snapshot when `r` belongs to
+  /// another shard (live credit state of a remote router is unreadable
+  /// mid-cycle); the live value — serial behavior — otherwise.
+  [[nodiscard]] std::int32_t probe_occupancy_phits(const Shard& sh, RouterId r,
+                                                   PortIndex out) const;
   /// Occupancy-fraction credit trigger (OLM/Hybrid/PB and local detours).
   [[nodiscard]] bool credit_fires(RouterId r, PortIndex out,
                                   double fraction) const {
     return CreditOccupancyTrigger{fraction}.fires(occupancy_phits(r, out),
                                                   port_capacity_phits(out));
+  }
+  /// credit_fires through probe_occupancy_phits (remote-safe).
+  [[nodiscard]] bool probe_credit_fires(const Shard& sh, RouterId r,
+                                        PortIndex out, double fraction) const {
+    return CreditOccupancyTrigger{fraction}.fires(
+        probe_occupancy_phits(sh, r, out), port_capacity_phits(out));
   }
   /// Configured VC count of `out`'s port class.
   [[nodiscard]] std::int32_t class_vcs(PortIndex out) const {
@@ -345,8 +483,8 @@ class Simulator {
     return r * radix_ + port;
   }
 
-  void depart(RouterId r, const AllocGrant& grant);
-  void deliver(RouterId r, std::int32_t packet);
+  void depart(Shard& sh, RouterId r, const AllocGrant& grant);
+  void deliver(Shard& sh, RouterId r, std::int32_t packet);
 
   // --- immutable shape (topo_owner_ must precede every member that reads
   // the topology during construction)
@@ -358,7 +496,9 @@ class Simulator {
   std::int32_t vmax_ = 0;       // max VCs across port classes
   std::int32_t psize_ = 0;      // packet size in phits
 
-  // --- per-queue flat state (size routers * radix * vmax)
+  // --- per-queue flat state (size routers * radix * vmax); a queue's
+  // slots/size/head belong to its router's shard, its credit counter
+  // (q_free_) to the upstream shard that spends the credits
   std::vector<std::int32_t> q_offset_;   // slab offset
   std::vector<std::int32_t> q_cap_;      // capacity in packets (0 = unused vc)
   std::vector<std::int32_t> q_head_;
@@ -377,28 +517,63 @@ class Simulator {
   // --- routers
   ContentionCounters counters_;  // flat over routers * radix output ports
   std::vector<SeparableAllocator> allocators_;
-  AllocRequestBatch request_batch_;  // per-router sparse requests (reused)
 
   // --- active sets: queue-occupancy bits (bit ip*vmax+vc of router r's
-  // word block; ascending-bit iteration == the dense scan order) and the
-  // router summary mask. Maintained by push_queue/pop_queue only.
+  // word block; ascending-bit iteration == the dense scan order). The
+  // router summary mask lives in each shard (Shard::router_active).
+  // Maintained by push_queue/pop_queue only.
   std::int32_t queue_words_per_router_ = 0;
   std::vector<std::uint64_t> queue_active_;   // routers * words_per_router
-  std::vector<std::uint64_t> router_active_;  // ceil(routers / 64)
 
   // --- packets & per-link in-flight rings (fixed capacity: a link carries
-  // at most delay/packet_size + 2 packets at once)
+  // at most delay/packet_size + 2 packets at once); a ring belongs to the
+  // downstream router's shard
   PacketPool pool_;
   std::vector<LinkEvent> ring_slab_;
   std::vector<std::int32_t> ring_offset_;  // per (router, out port)
   std::vector<std::int32_t> ring_cap_;
   std::vector<std::int32_t> ring_head_;
   std::vector<std::int32_t> ring_count_;
-  // Due-link min-heap: one (front arrival, link) key per non-empty ring.
-  // Capacity is structural (<= one entry per link), so no growth after
-  // construction; ties on arrival pop in ascending link order, matching
-  // the old full scan's iteration order exactly.
-  std::vector<std::uint64_t> link_heap_;
+
+  // --- sharded execution (n_shards_ == 1: shards_[0] spans everything and
+  // the tables below stay empty)
+  std::int32_t n_shards_ = 1;
+  std::vector<Shard> shards_;
+  std::vector<std::int32_t> shard_of_router_;  // size routers
+  // Owner of each queue's credit counter, per flat input port
+  // (routers * radix): the shard of the router upstream of that queue.
+  std::vector<std::int32_t> credit_owner_;
+  // Owner of each link's in-flight ring, per flat output port: the shard of
+  // the downstream router.
+  std::vector<std::int32_t> link_owner_;
+  // Packet-id range bounds per shard (n_shards + 1 entries).
+  std::vector<std::int32_t> shard_id_base_;
+  // Cycle-start occupancy snapshot (phits) per flat forward port, refreshed
+  // by each port's owner at the merge point; read by remote UGAL-G/PB
+  // probes. Only allocated when such probes exist (snap_on_).
+  bool snap_on_ = false;
+  std::vector<std::int32_t> occ_snap_;
+  // Worker dispatch: workers park on cv_ between run() calls (no spinning
+  // while the simulator is idle) and spin only on the intra-cycle barrier.
+  std::unique_ptr<SpinBarrier> barrier_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t epoch_ = 0;        // bumped per dispatch, guarded by mu_
+  std::int32_t done_count_ = 0;    // workers finished this dispatch
+  Cycle pending_cycles_ = 0;
+  bool stop_ = false;
+  // Next-cycle phase schedule, written by shard 0 in its exclusive window
+  // (between the last two barriers of a cycle) and read by every shard
+  // after the barrier — keeps all shards' barrier counts aligned without
+  // racing on fault_next_event_.
+  bool fault_cycle_ = false;
+  bool ectn_cycle_ = false;
+  static std::atomic<std::int32_t> jitter_us_;
+  // Merged-view caches for the const accessors (threads > 1 only).
+  mutable Metrics merged_metrics_;
+  mutable Totals merged_totals_;
+  mutable std::vector<Delivery> merged_deliveries_;
 
   // --- mechanisms
   ContentionThresholdTrigger base_trigger_;
@@ -429,16 +604,10 @@ class Simulator {
   telemetry::PacketTracer tracer_;
   telemetry::PhaseProfiler profiler_;
 
-  // --- time, traffic, metrics
+  // --- time & measurement
   Cycle now_ = 0;
-  Rng rng_;  // routing decisions only; traffic draws live in traffic_
-  TrafficModel traffic_;
-  Metrics metrics_;
-  Totals totals_;
   Cycle measure_start_ = 0;
   bool log_deliveries_ = false;
-  std::vector<Delivery> deliveries_;
-  std::int64_t log_growth_ = 0;
 };
 
 }  // namespace dfsim

@@ -444,7 +444,12 @@ std::vector<GateOutcome> check_against_golden(const ResultsDoc& doc,
                        "comparison skipped"));
     return out;
   }
-  if (a.config_hash != b.config_hash) {
+  // A sharded run (engine_threads != 1) may gate against the serial golden
+  // it approximates: its config_hash covers engine.threads, but the header
+  // carries the hash of the same params with threads forced to 1.
+  const bool serial_match = !a.config_hash_serial.empty() &&
+                            a.config_hash_serial == b.config_hash;
+  if (a.config_hash != b.config_hash && !serial_match) {
     out.push_back(outcome(
         doc, "golden-config", false,
         "config hash " + a.config_hash + " != golden " + b.config_hash +

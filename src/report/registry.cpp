@@ -1066,6 +1066,12 @@ void fill_header(ResultsDoc& doc, const RunContext& ctx, std::int32_t reps) {
   h.scale = ctx.scale;
   h.nodes = ctx.base.nodes();
   h.config_hash = config_hash(ctx.base);
+  h.engine_threads = ctx.base.engine.threads;
+  if (h.engine_threads != 1) {
+    SimParams serial = ctx.base;
+    serial.engine.threads = 1;
+    h.config_hash_serial = config_hash(serial);
+  }
   h.seed = ctx.base.seed;
   h.warmup = ctx.options.warmup;
   h.measure = ctx.options.measure;

@@ -110,6 +110,12 @@ Json to_json(const ResultsDoc& doc) {
   root.set("scale", Json(h.scale));
   root.set("nodes", Json(static_cast<double>(h.nodes)));
   root.set("config_hash", Json(h.config_hash));
+  // Schema-additive shard metadata: absent for serial runs so existing
+  // goldens and v1/v2 readers are untouched.
+  if (h.engine_threads != 1) {
+    root.set("engine_threads", Json(static_cast<double>(h.engine_threads)));
+    root.set("config_hash_serial", Json(h.config_hash_serial));
+  }
   root.set("git_rev", Json(h.git_rev));
   root.set("seed", Json(static_cast<double>(h.seed)));
   root.set("warmup", Json(static_cast<double>(h.warmup)));
@@ -168,6 +174,9 @@ ResultsDoc doc_from_json(const Json& json) {
   h.scale = json.get_string("scale");
   h.nodes = static_cast<std::int32_t>(json.get_number("nodes"));
   h.config_hash = json.get_string("config_hash");
+  h.engine_threads =
+      static_cast<std::int32_t>(json.get_number("engine_threads", 1));
+  h.config_hash_serial = json.get_string("config_hash_serial", "");
   h.git_rev = json.get_string("git_rev");
   h.seed = static_cast<std::uint64_t>(json.get_number("seed", 1));
   h.warmup = static_cast<Cycle>(json.get_number("warmup"));
@@ -373,6 +382,13 @@ std::string canonical_params_text(const SimParams& p) {
     line("trace.seed", std::to_string(p.trace.seed));
     f64("trace.sample_rate", p.trace.sample_rate);
     i32("trace.max_events", static_cast<std::int32_t>(p.trace.max_events));
+  }
+  // Sharded execution, emitted only off-default: serial configs keep their
+  // exact pre-sharding canonical text (and hash). Thread count is in the
+  // hash because parallel results are deterministic per (seed, threads) but
+  // not bit-identical across thread counts.
+  if (p.engine.threads != 1) {
+    i32("engine.threads", p.engine.threads);
   }
   return out;
 }

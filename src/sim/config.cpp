@@ -88,6 +88,12 @@ SimParams tiny() {
   return p;
 }
 
+SimParams exa() {
+  SimParams p;
+  p.topo = TopoParams{10, 48, 44};  // 2113 groups, 101424 routers, ~1.01M nodes
+  return p;
+}
+
 namespace {
 
 // Shared non-dragonfly baseline: unit packets so `load` is packets/node/
@@ -155,8 +161,9 @@ SimParams by_name(const std::string& name) {
   if (name == "medium") return medium();
   if (name == "small") return small();
   if (name == "tiny") return tiny();
+  if (name == "exa") return exa();
   throw std::invalid_argument("unknown preset/scale: " + name +
-                              " (expected tiny|small|medium|paper)");
+                              " (expected tiny|small|medium|paper|exa)");
 }
 
 }  // namespace presets

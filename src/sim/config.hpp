@@ -210,6 +210,15 @@ struct TraceParams {
   std::int64_t max_events = 1 << 20;
 };
 
+/// Execution-engine knobs. `threads = 1` (the default) runs the legacy
+/// serial cycle loop and is bit-exact with builds that predate sharding;
+/// `threads > 1` partitions routers across barrier-synced worker shards
+/// (see ARCHITECTURE.md "Sharded execution"). Results are deterministic
+/// per (seed, threads) pair but not bit-identical across thread counts.
+struct EngineParams {
+  std::int32_t threads = 1;
+};
+
 struct SimParams {
   /// Which topology the engine instantiates; `topo` (dragonfly), `fbfly`,
   /// or `torus` supplies the shape accordingly.
@@ -224,6 +233,7 @@ struct SimParams {
   FaultParams fault;
   TelemetryParams telemetry;
   TraceParams trace;
+  EngineParams engine;
   std::int32_t packet_size_phits = 8;
   std::uint64_t seed = 1;
 
@@ -251,6 +261,10 @@ namespace presets {
 [[nodiscard]] SimParams small();
 /// p=2 a=4 h=2 — 72 nodes; smoke-test scale.
 [[nodiscard]] SimParams tiny();
+/// p=10 a=48 h=44 — 2113 groups, 101424 routers, ~1.01M nodes; the
+/// sharded-engine scale target (ROADMAP item 1). Only practical with
+/// engine.threads > 1.
+[[nodiscard]] SimParams exa();
 
 /// Lookup by --scale name; throws std::invalid_argument on unknown names.
 [[nodiscard]] SimParams by_name(const std::string& name);

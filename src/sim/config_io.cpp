@@ -136,6 +136,8 @@ void apply_param(SimParams& p, const std::string& key,
   if (key == "trace.seed") { p.trace.seed = static_cast<std::uint64_t>(to_i32(key, value)); return; }
   if (key == "trace.sample_rate") { p.trace.sample_rate = to_f64(key, value); return; }
   if (key == "trace.max_events") { p.trace.max_events = to_i32(key, value); return; }
+  // Engine (src/engine/simulator.hpp sharded execution)
+  if (key == "engine.threads") { p.engine.threads = to_i32(key, value); return; }
   // Top level
   if (key == "packet_size_phits") { p.packet_size_phits = to_i32(key, value); return; }
   if (key == "seed") { p.seed = static_cast<std::uint64_t>(to_i32(key, value)); return; }

@@ -26,7 +26,16 @@ TrafficModel::TrafficModel(const TrafficParams& spec,
     throw std::invalid_argument(
         "traffic: topology info must partition nodes into groups");
   }
+  node_hi_ = topo_.nodes;
   build_tables();
+}
+
+void TrafficModel::restrict_nodes(NodeId lo, NodeId hi) {
+  if (lo < 0 || hi > topo_.nodes || lo >= hi) {
+    throw std::invalid_argument("traffic: bad node range restriction");
+  }
+  node_lo_ = lo;
+  node_hi_ = hi;
 }
 
 void TrafficModel::reset_spec(const TrafficParams& spec) {
@@ -158,7 +167,7 @@ void TrafficModel::build_tables() {
 
 void TrafficModel::begin_cycle(Cycle now) {
   now_ = now;
-  node_cursor_ = 0;
+  node_cursor_ = node_lo_;
   if (spec_.kind == TrafficKind::kTrace && replay_base_ < 0) {
     replay_base_ = now;
   }
@@ -233,8 +242,13 @@ bool TrafficModel::next(Injection& out) {
   if (spec_.kind == TrafficKind::kTrace) {
     const Cycle rel = now_ - replay_base_;
     while (replay_cursor_ < replay_.size() &&
-           replay_[replay_cursor_].cycle < rel) {
-      ++replay_cursor_;  // records from before replay started (or a re-base)
+           (replay_[replay_cursor_].cycle < rel ||
+            (replay_[replay_cursor_].cycle == rel &&
+             (replay_[replay_cursor_].src < node_lo_ ||
+              replay_[replay_cursor_].src >= node_hi_)))) {
+      // Records from before replay started (or a re-base), plus — under a
+      // restrict_nodes range — due records owned by another shard's model.
+      ++replay_cursor_;
     }
     if (replay_cursor_ < replay_.size() &&
         replay_[replay_cursor_].cycle == rel) {
@@ -250,7 +264,7 @@ bool TrafficModel::next(Injection& out) {
     // round-tripping through members every iteration — same draws in the
     // same order, ~5x faster at scale. State is written back before
     // draw_dest so the destination draw continues the same stream.
-    const std::int32_t nodes = topo_.nodes;
+    const std::int32_t nodes = node_hi_;
     std::int32_t cursor = node_cursor_;
     Rng rng = rng_;
     NodeId hit = -1;

@@ -56,6 +56,13 @@ class TrafficModel {
   /// pattern tables (may allocate); the RNG stream continues.
   void reset_spec(const TrafficParams& spec);
 
+  /// Restricts this instance to source nodes in [lo, hi): next() scans only
+  /// that range and trace replay serves only records whose src falls inside
+  /// it. Destination draws still span all nodes. Sharded simulations give
+  /// each shard its own model restricted to the shard's node range; the
+  /// default (full range) leaves every draw sequence untouched.
+  void restrict_nodes(NodeId lo, NodeId hi);
+
   // --- hot path: begin_cycle once per cycle, then next() until false.
   void begin_cycle(Cycle now);
   bool next(Injection& out);
@@ -111,6 +118,10 @@ class TrafficModel {
   std::uint64_t p_on_threshold_ = 0;
   std::uint64_t alpha_threshold_ = 0;
   std::uint64_t beta_threshold_ = 0;
+
+  // Source-node range (restrict_nodes); defaults to every node.
+  NodeId node_lo_ = 0;
+  NodeId node_hi_ = 0;
 
   // Per-cycle iteration state.
   Cycle now_ = 0;

@@ -135,8 +135,12 @@ SCHEMA_DOC = "docs/SCHEMA.md"
 # list. Everything else must be emitted unconditionally.
 HASH_GATED_PREFIXES = ("fault.", "telemetry.", "trace.")
 # Keys allowed to be conditionally emitted without being hash-gated groups
-# (trace_path is omitted when empty: an absent path is the same run).
-CONDITIONAL_KEY_EXEMPT = {"traffic.trace_path"}
+# (trace_path is omitted when empty: an absent path is the same run;
+# engine.threads is omitted at its default of 1 so every pre-sharding
+# config hash — and the committed goldens keyed on them — stays valid,
+# while sharded runs fork their hash and carry config_hash_serial for
+# cross-shard-count comparisons).
+CONDITIONAL_KEY_EXEMPT = {"traffic.trace_path", "engine.threads"}
 
 
 # ---------------------------------------------------------------------------

@@ -12,9 +12,11 @@
 // `check` evaluates the paper-parity trend gates and the tolerance-banded
 // golden comparison over emitted documents; `render` generates RESULTS.md;
 // `gate` is run+check in one process (the ctest parity target); `perf`
-// times raw Simulator::step() throughput (cycles/sec) per scale x load and
-// emits the BENCH_engine.json trajectory document, optionally soft-checking
-// it against a committed baseline (--baseline, warns on >threshold drops).
+// times raw engine throughput (cycles/sec) per scale x load — and, with
+// --engine-threads=1,2,8, per shard count, turning the file into a scaling
+// record — emitting the BENCH_engine.json trajectory document, optionally
+// soft-checking it against a committed baseline (--baseline, warns on
+// >threshold drops).
 #include <chrono>
 #include <ctime>
 #include <filesystem>
@@ -63,7 +65,7 @@ int usage(const std::string& error = "") {
       "  perf    [--scales=tiny,medium] [--loads=0.05,0.3] [--routing=Base]\n"
       "          [--traffic=uniform] [--cycles=N] [--warmup=N] [--seed=N]\n"
       "          [--out=BENCH_engine.json] [--baseline=F] [--threshold=0.2]\n"
-      "          [--phases]\n";
+      "          [--phases] [--engine-threads=1,2,8]\n";
   return 2;
 }
 
@@ -481,6 +483,7 @@ Cycle default_perf_cycles(const std::string& scale) {
   if (scale == "tiny") return 60000;
   if (scale == "small") return 20000;
   if (scale == "medium") return 8000;
+  if (scale == "exa") return 200;  // ~100k routers: every cycle is costly
   return 600;  // paper
 }
 
@@ -501,20 +504,46 @@ int cmd_perf(const CliOptions& cli) {
       traffic_kind_from_string(cli.get("traffic", "uniform"));
   const Cycle warmup = cli.get_int("warmup", 500);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  // --engine-threads=1,2,8 measures the same points at several shard
+  // counts (engine.threads), turning the trajectory file into a scaling
+  // record. Points are tagged with their shard count; baseline matching is
+  // per (scale, load, engine_threads), with untagged history entries read
+  // as serial.
+  std::vector<std::int32_t> thread_counts;
+  for (const std::string& item :
+       split_csv(cli.get("engine-threads", "1"))) {
+    try {
+      thread_counts.push_back(std::stoi(item));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("perf: bad --engine-threads entry '" +
+                                  item + "'");
+    }
+  }
   // --phases folds the engine's per-phase wall-time accounting into each
   // point. The profiler's clock reads add overhead, so phase-profiled
   // cycles/sec are not comparable with unprofiled baselines — flagged in
   // the document and excluded from the regression check.
   const bool phases = cli.has("phases");
+  if (phases) {
+    for (const std::int32_t t : thread_counts) {
+      if (t != 1) {
+        throw std::invalid_argument(
+            "perf: --phases requires --engine-threads=1 (the phase "
+            "profiler is serial-only)");
+      }
+    }
+  }
 
   Json points = Json::array();
   for (const std::string& scale : scales) {
     for (const double load : loads) {
+      for (const std::int32_t threads : thread_counts) {
       SimParams p = presets::by_name(scale);
       p.routing.kind = routing;
       p.traffic.kind = traffic;
       p.traffic.load = load;
       p.seed = seed;
+      p.engine.threads = threads;
       const Cycle cycles = cli.get_int("cycles", default_perf_cycles(scale));
 
       Simulator sim(p);
@@ -534,13 +563,17 @@ int cmd_perf(const CliOptions& cli) {
       pt.set("scale", scale);
       pt.set("nodes", p.nodes());
       pt.set("load", load);
+      if (threads != 1) {
+        pt.set("engine_threads", static_cast<std::int64_t>(threads));
+      }
       pt.set("cycles", static_cast<std::int64_t>(cycles));
       pt.set("seconds", seconds);
       pt.set("cycles_per_sec", cps);
       pt.set("delivered", sim.metrics().delivered);
-      std::cerr << "perf " << scale << " load=" << load << ": "
-                << static_cast<std::int64_t>(cps) << " cycles/sec ("
-                << cycles << " cycles, "
+      std::cerr << "perf " << scale << " load=" << load;
+      if (threads != 1) std::cerr << " threads=" << threads;
+      std::cerr << ": " << static_cast<std::int64_t>(cps)
+                << " cycles/sec (" << cycles << " cycles, "
                 << sim.metrics().delivered << " delivered)\n";
       if (phases) {
         const telemetry::PhaseProfiler& prof = sim.phase_profiler();
@@ -560,6 +593,7 @@ int cmd_perf(const CliOptions& cli) {
         pt.set("phase_seconds", std::move(breakdown));
       }
       points.push_back(std::move(pt));
+      }
     }
   }
 
@@ -645,8 +679,16 @@ int cmd_perf(const CliOptions& cli) {
     {
       for (const Json& pt : doc.get("points").items()) {
         for (const Json& bp : base_points->items()) {
+          // engine_threads is omitted for serial points, so pre-sharding
+          // history entries compare as 1 and keep matching serial points.
+          const auto threads_of = [](const Json& point) {
+            const Json* t = point.find("engine_threads");
+            return t ? static_cast<std::int64_t>(t->as_number())
+                     : std::int64_t{1};
+          };
           if (bp.get_string("scale") != pt.get_string("scale") ||
-              bp.get_number("load") != pt.get_number("load")) {
+              bp.get_number("load") != pt.get_number("load") ||
+              threads_of(bp) != threads_of(pt)) {
             continue;
           }
           const double now = pt.get_number("cycles_per_sec");

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "engine/head_wait.hpp"
+#include "routing/factory.hpp"
 #include "topo/factory.hpp"
 
 namespace dfsim {
@@ -25,9 +26,7 @@ Simulator::Simulator(const SimParams& params,
                      std::unique_ptr<const Topology> topology)
     : params_(params),
       topo_owner_(std::move(topology)),
-      topo_(*topo_owner_),
-      counters_(topo_.routers() * topo_.radix(),
-                params.routing.counter_saturation) {
+      topo_(*topo_owner_) {
   radix_ = topo_.radix();
   fwd_ = topo_.forward_ports();
   vmax_ = std::max({params_.router.vcs_local, params_.router.vcs_global,
@@ -51,12 +50,6 @@ Simulator::Simulator(const SimParams& params,
     }
   }
 
-  base_trigger_ = ContentionThresholdTrigger{
-      params_.routing.contention_threshold, params_.routing.statistical_trigger,
-      params_.routing.statistical_window};
-  hybrid_trigger_ = ContentionThresholdTrigger{
-      params_.routing.hybrid_contention_threshold, false, 0};
-
   if (params_.fault.enabled) {
     // Built before build_layout: ring capacities must cover the extra
     // in-flight time degraded links impose.
@@ -70,6 +63,12 @@ Simulator::Simulator(const SimParams& params,
     // one sanctioned mutation, and only happens when faults are enabled.
     const_cast<Topology&>(topo_).attach_link_health(&health_);
   }
+
+  // After the fault block (fault_overlay() must already answer truthfully),
+  // before build_shards (snap_on_ reads wants_remote_probes()).
+  routing_ = routing::make_mechanism(params_, topo_, *this);
+  inject_decides_ = routing_->decides_at_injection();
+  transit_decides_ = routing_->decides_in_transit();
 
   build_layout();
   build_shards();
@@ -90,14 +89,6 @@ Simulator::Simulator(const SimParams& params,
                       slab_.size() + ring_slab_.size());
   }
 
-  if (params_.routing.kind == RoutingKind::kCbEctn) {
-    if (!topo_.supports_ectn()) {
-      throw std::invalid_argument(
-          "ECtN routing needs a topology with contention-broadcast support "
-          "(dragonfly); pick Base/Hybrid here");
-    }
-    ectn_.resize(topo_.ectn_domains(), topo_.ectn_channels());
-  }
   ectn_bits_per_counter_ = bits_for_value(params_.routing.counter_saturation);
   ectn_scratch_.assign(
       static_cast<std::size_t>(std::max<std::int32_t>(
@@ -231,10 +222,10 @@ void Simulator::build_shards() {
 
   if (n_shards_ > 1) {
     shard_of_router_.assign(static_cast<std::size_t>(routers), 0);
-    // Snapshot-based remote probes exist only for the idealized-global
-    // estimate and Piggyback's remote link-state flag.
-    snap_on_ = params_.routing.kind == RoutingKind::kUgalG ||
-               params_.routing.kind == RoutingKind::kPiggyback;
+    // Snapshot-based remote probes exist only for mechanisms that declare
+    // them (the idealized-global estimate and Piggyback's remote link-state
+    // flag).
+    snap_on_ = routing_->wants_remote_probes();
     if (snap_on_) occ_snap_.assign(n_out, 0);
   }
 
@@ -467,7 +458,7 @@ void Simulator::on_new_head(Shard& sh, std::int32_t q) {
   q_counted_[qi] = static_cast<std::int16_t>(counted);
   q_request_[qi] = static_cast<std::int16_t>(routed_output(r, packet));
   q_wait_[qi] = 0;
-  counters_.on_head(flat_port(r, counted));
+  routing_->on_head(flat_port(r, counted));
 }
 
 // ---------------------------------------------------------------------------
@@ -527,17 +518,34 @@ std::int32_t Simulator::occupancy_phits(RouterId r, PortIndex out) const {
   return occupied * psize_;
 }
 
-std::int32_t Simulator::probe_occupancy_phits(const Shard& sh, RouterId r,
+std::int32_t Simulator::probe_occupancy_phits(std::int32_t shard, RouterId r,
                                               PortIndex out) const {
   // Remote routers' live credit state is owned by another shard; the
   // cycle-start snapshot (refreshed at each owner's merge point) stands in
   // for it. With one shard every router is local, so this is exactly
   // occupancy_phits and the serial draw sequence is untouched.
+  const Shard& sh = shards_[static_cast<std::size_t>(shard)];
   if (snap_on_ && (r < sh.r_lo || r >= sh.r_hi)) {
     if (out >= fwd_) return 0;
     return occ_snap_[static_cast<std::size_t>(flat_port(r, out))];
   }
   return occupancy_phits(r, out);
+}
+
+std::int32_t Simulator::free_credits(RouterId r, PortIndex out,
+                                     std::int8_t vc_state) const {
+  // The VC a non-phase-0 packet in hop state `vc_state` would take on
+  // (r, out), clamped like vc_for; OLM's exact-blocked test reads this.
+  const VcIndex cls = topo_.vc_class(r, out, vc_state, false);
+  const VcIndex vcn = std::min<VcIndex>(cls, class_vcs(out) - 1);
+  const std::int32_t down =
+      down_queue_base_[static_cast<std::size_t>(flat_port(r, out))] + vcn;
+  return q_free_[static_cast<std::size_t>(down)];
+}
+
+std::int32_t Simulator::fault_extra_latency(RouterId r, PortIndex out) const {
+  if (!fault_on_) return 0;
+  return health_.extra_latency(r, out);
 }
 
 std::int32_t Simulator::port_capacity_phits(PortIndex out) const {
@@ -560,113 +568,6 @@ VcIndex Simulator::vc_for(RouterId r, PortIndex out,
   return std::min<VcIndex>(cls, class_vcs(out) - 1);
 }
 
-bool Simulator::pick_misroute_channel(Shard& sh, RouterId r, NodeId dst,
-                                      bool use_snapshot, bool use_occupancy,
-                                      NonminCandidate& best) {
-  Rng& rng = sh.rng;
-  // Target number of distinct scored options per decision (the paper's CRG
-  // candidate set size at its h=8 router; pools at or below this are
-  // enumerated exhaustively).
-  constexpr std::int32_t kCandidates = 4;
-
-  const bool crg = params_.routing.global_policy == GlobalMisroutePolicy::kCrg;
-  const std::int32_t pool_size = topo_.nonmin_pool_size(r, crg);
-  if (!topo_.nonmin_viable(r, dst, crg)) return false;
-
-  bool have = false;
-  std::int64_t best_score = 0;
-  NonminCandidate cand;
-  const auto consider = [&](const NonminCandidate& c) {
-    std::int64_t score = counters_.value(flat_port(r, c.first_hop));
-    if (use_snapshot) {
-      score += ectn_.value(topo_.ectn_domain(r), c.channel);
-    }
-    if (use_occupancy) score += occupancy_phits(r, c.first_hop) / psize_;
-    if (!have || score < best_score) {
-      have = true;
-      best = c;
-      best_score = score;
-    }
-  };
-
-  if (pool_size <= kCandidates) {
-    // Small pool (e.g. CRG with few global channels per router): enumerate
-    // every distinct option. Sampling WITH replacement here double-scored
-    // duplicates and compared fewer distinct options than the paper's CRG
-    // candidate set.
-    for (std::int32_t i = 0; i < pool_size; ++i) {
-      if (topo_.nonmin_candidate_at(r, dst, crg, i, cand)) consider(cand);
-    }
-    return have;
-  }
-
-  // Large pool: sample DISTINCT candidates — duplicates are never scored
-  // twice and burn a draw slot, with one spare draw beyond the target so a
-  // single duplicate/minimal hit still yields a full candidate set. The
-  // budget is deliberately tight: chasing full distinctness harder
-  // (e.g. 2x draws) measurably herds saturated traffic onto the momentary
-  // argmin channel on topologies whose candidate scores are near-uniform
-  // (fbfly/torus adversarial saturation loses ~5-10% throughput), while
-  // one retry recovers the lost comparison diversity on the dragonfly
-  // without that side effect.
-  std::int32_t seen[kCandidates];
-  std::int32_t n_seen = 0;
-  for (std::int32_t draw = 0;
-       draw < kCandidates + 1 && n_seen < kCandidates; ++draw) {
-    if (!topo_.sample_nonmin(rng, r, dst, crg, cand)) continue;
-    bool duplicate = false;
-    for (std::int32_t s = 0; s < n_seen; ++s) {
-      duplicate |= seen[s] == cand.channel;
-    }
-    if (duplicate) continue;
-    seen[n_seen++] = cand.channel;
-    consider(cand);
-  }
-  return have;
-}
-
-bool Simulator::ugal_prefers_misroute(Shard& sh, RouterId r,
-                                      std::int32_t packet,
-                                      const NonminCandidate& cand,
-                                      bool global_info) {
-  const auto pi = static_cast<std::size_t>(packet);
-  const NodeId d = pool_.dst[pi];
-  const RouterId dr = topo_.router_of_node(d);
-
-  const PortIndex min_port = topo_.minimal_output(r, d);
-  std::int64_t q_min = occupancy_phits(r, min_port);
-  Cycle h_min = std::max<Cycle>(1, hops_to_latency(topo_.min_hops(r, dr)));
-
-  std::int64_t q_val = occupancy_phits(r, cand.first_hop);
-  Cycle h_val = hops_to_latency(topo_.nonmin_hops(r, cand, dr));
-
-  if (fault_on_) {
-    // Degradation the deciding router can observe: extra serialization on
-    // each option's first hop raises that path's latency estimate.
-    if (min_port >= 0 && min_port < fwd_) {
-      h_min += health_.extra_latency(r, min_port);
-    }
-    if (cand.first_hop >= 0 && cand.first_hop < fwd_) {
-      h_val += health_.extra_latency(r, cand.first_hop);
-    }
-  }
-
-  if (global_info) {
-    // Add the remote queues the idealized-global variant may consult —
-    // unless a term is this router's own first hop, already counted above.
-    RemoteProbe probe;
-    if (topo_.min_remote_probe(r, d, probe)) {
-      q_min += probe_occupancy_phits(sh, probe.router, probe.port);
-    }
-    if (topo_.nonmin_remote_probe(r, cand, probe)) {
-      q_val += probe_occupancy_phits(sh, probe.router, probe.port);
-    }
-  }
-  const std::int64_t threshold =
-      static_cast<std::int64_t>(params_.routing.pb_ugal_threshold) * psize_;
-  return q_min * h_min > q_val * h_val + threshold * h_min;
-}
-
 void Simulator::apply_global_misroute(std::int32_t packet,
                                       const NonminCandidate& cand) {
   const auto pi = static_cast<std::size_t>(packet);
@@ -676,77 +577,28 @@ void Simulator::apply_global_misroute(std::int32_t packet,
 }
 
 void Simulator::decide_injection(Shard& sh, RouterId r, std::int32_t packet) {
-  Rng& rng = sh.rng;
   const auto pi = static_cast<std::size_t>(packet);
   pool_.flags[pi] |= PacketPool::kRouted;
   const NodeId d = pool_.dst[pi];
   pool_.target_router[pi] = topo_.router_of_node(d);
 
-  const RoutingKind kind = params_.routing.kind;
-  if (kind == RoutingKind::kMin || (pool_.flags[pi] & PacketPool::kInorder)) {
-    return;
-  }
+  if (!inject_decides_ || (pool_.flags[pi] & PacketPool::kInorder)) return;
   if (topo_.min_channel(r, d) < 0) return;  // no nonminimal option applies
 
-  switch (kind) {
-    case RoutingKind::kValiant: {
-      NonminCandidate cand;
-      if (topo_.sample_valiant(rng, r, d, cand)) {
-        apply_global_misroute(packet, cand);
-        note_misroute(r, packet, telemetry::MisrouteCause::kValiant);
-      }
-      return;
-    }
-    case RoutingKind::kUgalL:
-    case RoutingKind::kUgalG: {
-      NonminCandidate cand;
-      if (pick_misroute_channel(sh, r, d, false, true, cand) &&
-          ugal_prefers_misroute(sh, r, packet, cand,
-                                kind == RoutingKind::kUgalG)) {
-        apply_global_misroute(packet, cand);
-        note_misroute(r, packet, telemetry::MisrouteCause::kUgal);
-      }
-      return;
-    }
-    case RoutingKind::kPiggyback: {
-      // Remote link-state flag for the minimal route (piggybacked state in
-      // the paper; read directly here) OR the local UGAL estimate.
-      RemoteProbe probe;
-      const bool min_congested =
-          topo_.min_link_probe(r, d, probe) &&
-          probe_credit_fires(sh, probe.router, probe.port,
-                             params_.routing.olm_credit_fraction);
-      NonminCandidate cand;
-      if (pick_misroute_channel(sh, r, d, false, true, cand) &&
-          (min_congested ||
-           ugal_prefers_misroute(sh, r, packet, cand, false))) {
-        apply_global_misroute(packet, cand);
-        note_misroute(r, packet, telemetry::MisrouteCause::kUgal);
-      }
-      return;
-    }
-    case RoutingKind::kOlm:
-    case RoutingKind::kCbBase:
-    case RoutingKind::kCbHybrid:
-    case RoutingKind::kCbEctn:
-      // In-transit mechanisms: the head-event hook (maybe_transit_misroute)
-      // decides at injection and wherever the topology's in-transit policy
-      // still allows it, so backlogged minimal-committed packets can divert
-      // when the counters are hot.
-      return;
-    case RoutingKind::kMin:
-      return;
+  const routing::Decision dec =
+      routing_->decide_injection(sh.rng, sh.index, r, d);
+  if (dec.misroute) {
+    apply_global_misroute(packet, dec.cand);
+    note_misroute(r, packet, dec.cause);
   }
 }
 
 void Simulator::maybe_transit_misroute(Shard& sh, RouterId r, std::int32_t q,
                                        std::int32_t packet) {
-  Rng& rng = sh.rng;
-  const RoutingKind kind = params_.routing.kind;
-  if (kind != RoutingKind::kOlm && kind != RoutingKind::kCbBase &&
-      kind != RoutingKind::kCbHybrid && kind != RoutingKind::kCbEctn) {
-    return;
-  }
+  // In-transit mechanisms re-decide at injection and wherever the
+  // topology's in-transit policy still allows it, so backlogged
+  // minimal-committed packets can divert when the counters are hot.
+  if (!transit_decides_) return;
   const auto pi = static_cast<std::size_t>(packet);
   const std::uint8_t flags = pool_.flags[pi];
   if (flags & (PacketPool::kMisGlobal | PacketPool::kInorder)) return;
@@ -759,57 +611,10 @@ void Simulator::maybe_transit_misroute(Shard& sh, RouterId r, std::int32_t q,
   if (min_ch < 0) return;
 
   const PortIndex mp = topo_.minimal_output(r, d);
-  bool fire = false;
-  bool use_snapshot = false;
-  bool use_occupancy = false;
-  switch (kind) {
-    case RoutingKind::kOlm: {
-      // Opportunistic: misroute when the minimal output is actually out of
-      // credits (blocked) or, on the large global buffers, past the
-      // occupancy fraction. Credit exhaustion is what ties OLM's response
-      // time to the buffer depth (Figure 8).
-      const VcIndex vcn = vc_for(r, mp, packet);
-      const std::int32_t down =
-          down_queue_base_[static_cast<std::size_t>(flat_port(r, mp))] + vcn;
-      const bool blocked = q_free_[static_cast<std::size_t>(down)] <= 0;
-      const bool deep = topo_.port_class(mp) == PortClass::kGlobalClass &&
-                        credit_fires(r, mp, params_.routing.olm_credit_fraction);
-      fire = blocked || deep;
-      use_occupancy = true;
-      break;
-    }
-    case RoutingKind::kCbBase:
-      fire = base_trigger_.fires(counters_.value(flat_port(r, mp)), rng);
-      break;
-    case RoutingKind::kCbHybrid: {
-      // Base's full-threshold trigger, plus an earlier escape hatch when a
-      // lower contention threshold and credit occupancy agree — misroutes a
-      // little sooner than Base, never less.
-      const std::int32_t counter = counters_.value(flat_port(r, mp));
-      fire = base_trigger_.fires(counter, rng) ||
-             (hybrid_trigger_.fires(counter, rng) &&
-              credit_fires(r, mp, params_.routing.hybrid_credit_fraction));
-      use_occupancy = true;
-      break;
-    }
-    case RoutingKind::kCbEctn: {
-      const std::int32_t own = counters_.value(flat_port(r, mp));
-      fire = base_trigger_.fires(own, rng) ||
-             own + ectn_.value(topo_.ectn_domain(r), min_ch) >=
-                 params_.routing.ectn_combined_threshold;
-      use_snapshot = true;
-      break;
-    }
-    default:
-      break;
-  }
-  if (!fire) return;
-
-  NonminCandidate cand;
-  if (!pick_misroute_channel(sh, r, d, use_snapshot, use_occupancy, cand)) {
-    return;
-  }
-  apply_global_misroute(packet, cand);
+  const routing::Decision dec = routing_->decide_transit(
+      sh.rng, sh.index, r, d, pool_.g_hops[pi], mp, min_ch);
+  if (!dec.misroute) return;
+  apply_global_misroute(packet, dec.cand);
   q_request_[static_cast<std::size_t>(q)] =
       static_cast<std::int16_t>(routed_output(r, packet));
   if (telemetry_on_ || trace_on_) {
@@ -821,13 +626,7 @@ void Simulator::maybe_transit_misroute(Shard& sh, RouterId r, std::int32_t q,
 }
 
 void Simulator::maybe_local_detour(Shard& sh, RouterId r, std::int32_t q) {
-  Rng& rng = sh.rng;
-  if (!params_.routing.allow_local_misroute) return;
-  const RoutingKind kind = params_.routing.kind;
-  if (kind != RoutingKind::kOlm && kind != RoutingKind::kCbBase &&
-      kind != RoutingKind::kCbHybrid && kind != RoutingKind::kCbEctn) {
-    return;
-  }
+  if (!params_.routing.allow_local_misroute || !transit_decides_) return;
   const std::int32_t locals = topo_.local_detour_ports(r);
   const auto qi = static_cast<std::size_t>(q);
   const PortIndex rp = q_request_[qi];
@@ -837,13 +636,8 @@ void Simulator::maybe_local_detour(Shard& sh, RouterId r, std::int32_t q) {
   const auto pi = static_cast<std::size_t>(packet);
   if (pool_.flags[pi] & (PacketPool::kDetoured | PacketPool::kInorder)) return;
 
-  bool triggered;
-  if (kind == RoutingKind::kOlm) {
-    triggered = credit_fires(r, rp, params_.routing.olm_credit_fraction);
-  } else {
-    triggered = base_trigger_.fires(counters_.value(flat_port(r, rp)), rng);
-  }
-  if (!triggered) return;
+  if (!routing_->local_detour_fires(sh.rng, sh.index, r, rp)) return;
+  Rng& rng = sh.rng;
 
   // Pick a random alternative local port with a free link and credits.
   for (std::int32_t attempt = 0; attempt < 4; ++attempt) {
@@ -1066,7 +860,7 @@ void Simulator::depart(Shard& sh, RouterId r, const AllocGrant& grant) {
   const auto qi = static_cast<std::size_t>(q);
   const std::int16_t counted = q_counted_[qi];
   const std::int32_t packet = pop_queue(sh, q);
-  counters_.on_tail_departure(flat_port(r, counted));
+  routing_->on_tail_departure(flat_port(r, counted));
 
   const PortIndex out = grant.out;
   const std::size_t flat = static_cast<std::size_t>(flat_port(r, out));
@@ -1167,32 +961,32 @@ void Simulator::deliver(Shard& sh, RouterId r, std::int32_t packet) {
   release_packet(sh, packet);
 }
 
-void Simulator::update_ectn(Shard& sh) {
-  if (!topo_.supports_ectn()) return;
-  const Cycle period = params_.routing.ectn_update_period;
-  if (period <= 0 || now_ % period != 0) return;
-  const bool want_snapshot = params_.routing.kind == RoutingKind::kCbEctn;
-  if (!want_snapshot && !ectn_monitor_enabled_) return;
+void Simulator::update_mechanism(Shard& sh) {
+  const bool mech_due = routing_->update_due(now_);
+  const bool monitor_due = ectn_monitor_enabled_ && monitor_update_due();
+  if (!mech_due && !monitor_due) return;
 
-  // Each router's slots map to distinct (domain, channel) cells (the
-  // dragonfly assigns channel local_index * h + i), so shards write
-  // disjoint parts of the snapshot; the surrounding barriers order the
-  // writes against every reader.
-  const std::int32_t slots = topo_.ectn_router_slots();
-  for (RouterId r = sh.r_lo; r < sh.r_hi; ++r) {
-    for (std::int32_t i = 0; i < slots; ++i) {
-      const EctnSlot slot = topo_.ectn_slot(r, i);
-      const auto value = static_cast<std::int16_t>(
-          counters_.value(flat_port(r, slot.port)));
-      if (want_snapshot) ectn_.set(slot.domain, slot.channel, value);
-      if (ectn_monitor_enabled_) {
-        ectn_scratch_[static_cast<std::size_t>(i)] = value;
+  // The mechanism's update window: shards call it for their own router
+  // ranges and may write only per-shard-disjoint state slices; the
+  // surrounding barriers order the writes against every reader.
+  if (mech_due) routing_->update(now_, sh.index, sh.r_lo, sh.r_hi);
+
+  if (ectn_monitor_enabled_ && monitor_due) {
+    // Broadcast-overhead measurement over the same counter gauges the ECtN
+    // snapshot serializes (runs under any mechanism — Section VI-B compares
+    // against non-ECtN baselines too). Serial engine only.
+    const std::int32_t slots = topo_.ectn_router_slots();
+    for (RouterId r = sh.r_lo; r < sh.r_hi; ++r) {
+      for (std::int32_t i = 0; i < slots; ++i) {
+        const EctnSlot slot = topo_.ectn_slot(r, i);
+        ectn_scratch_[static_cast<std::size_t>(i)] = static_cast<std::int16_t>(
+            routing_->counter_value(flat_port(r, slot.port)));
       }
-    }
-    if (ectn_monitor_enabled_) {
       ectn_monitor_.on_update(r, ectn_scratch_.data());
     }
-    if (telemetry_on_) sink_.count_ectn_update();
+  }
+  if (telemetry_on_) {
+    for (RouterId r = sh.r_lo; r < sh.r_hi; ++r) sink_.count_ectn_update();
   }
 }
 
@@ -1345,12 +1139,15 @@ void Simulator::merge_inboxes(Shard& sh) {
   }
 }
 
-bool Simulator::ectn_update_due() const {
+bool Simulator::mechanism_update_due() const {
+  return routing_->update_due(now_) ||
+         (ectn_monitor_enabled_ && monitor_update_due());
+}
+
+bool Simulator::monitor_update_due() const {
   if (!topo_.supports_ectn()) return false;
   const Cycle period = params_.routing.ectn_update_period;
-  if (period <= 0 || now_ % period != 0) return false;
-  return params_.routing.kind == RoutingKind::kCbEctn ||
-         ectn_monitor_enabled_;
+  return period > 0 && now_ % period == 0;
 }
 
 void Simulator::cycle_parallel(Shard& sh) {
@@ -1358,7 +1155,7 @@ void Simulator::cycle_parallel(Shard& sh) {
   // barrier of the previous cycle (or by run_parallel for the first), so
   // every shard executes the same barrier count.
   const bool fault_cycle = fault_cycle_;
-  const bool ectn_cycle = ectn_cycle_;
+  const bool mech_cycle = mech_cycle_;
 
   // Merge point: apply cross-shard events from the previous cycle. Every
   // shard is past its route phase (dispatch barrier or end-of-cycle
@@ -1376,11 +1173,11 @@ void Simulator::cycle_parallel(Shard& sh) {
   barrier_->arrive_and_wait();  // merges/purges done; cycle phases begin
   deliver_arrivals(sh);
   inject_traffic(sh);
-  if (ectn_cycle) {
-    // Snapshot write window: counters stop changing at the barrier above,
-    // and no shard reads the snapshot until the one below.
+  if (mech_cycle) {
+    // Mechanism update window: counters stop changing at the barrier above,
+    // and no shard reads the refreshed state until the one below.
     barrier_->arrive_and_wait();
-    update_ectn(sh);
+    update_mechanism(sh);
     barrier_->arrive_and_wait();
   }
   route_and_allocate(sh);
@@ -1389,7 +1186,7 @@ void Simulator::cycle_parallel(Shard& sh) {
   if (sh.index == 0) {
     ++now_;
     fault_cycle_ = fault_on_ && now_ == fault_next_event_;
-    ectn_cycle_ = ectn_update_due();
+    mech_cycle_ = mechanism_update_due();
   }
   barrier_->arrive_and_wait();  // now_ and the next schedule published
 }
@@ -1424,7 +1221,7 @@ void Simulator::run_parallel(Cycle cycles) {
     done_count_ = 0;
     // Initial phase schedule; subsequent cycles are published by shard 0.
     fault_cycle_ = fault_on_ && now_ == fault_next_event_;
-    ectn_cycle_ = ectn_update_due();
+    mech_cycle_ = mechanism_update_due();
     ++epoch_;
   }
   cv_.notify_all();
@@ -1449,7 +1246,7 @@ void Simulator::step_serial() {
   }
   deliver_arrivals(sh);
   inject_traffic(sh);
-  update_ectn(sh);
+  update_mechanism(sh);
   route_and_allocate(sh);
   if (telemetry_on_ && now_ == telemetry_next_sample_) flush_telemetry();
   ++now_;
@@ -1491,7 +1288,7 @@ void Simulator::step_profiled() {
   inject_traffic(sh);
   const Clock::time_point t3 = Clock::now();
   profiler_.add(telemetry::Phase::kInject, t2, t3);
-  update_ectn(sh);
+  update_mechanism(sh);
   const Clock::time_point t4 = Clock::now();
   profiler_.add(telemetry::Phase::kEctn, t3, t4);
   route_and_allocate(sh);
@@ -1515,7 +1312,7 @@ void Simulator::flush_telemetry() {
     sink_.set_gauge_occupancy(r, occupied);
     for (PortIndex port = 0; port < fwd_; ++port) {
       const std::int32_t flat = flat_port(r, port);
-      sink_.set_gauge_counter(flat, counters_.value(flat));
+      sink_.set_gauge_counter(flat, routing_->counter_value(flat));
     }
   }
   if (fault_on_) {

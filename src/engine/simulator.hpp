@@ -1,9 +1,12 @@
 // Topology-generic cycle-driven simulator with flat (structure-of-arrays)
 // state. The topology (dragonfly, flattened butterfly, torus — see
 // topo/topology.hpp) is a plugin: the engine owns queues, credits, links,
-// allocation, contention counters, metrics, delivery logging, and trace
-// hooks; the Topology instance owns wiring, minimal routing, the VC
-// deadlock schedule, and the nonminimal-candidate machinery.
+// allocation, metrics, delivery logging, and trace hooks; the Topology
+// instance owns wiring, minimal routing, the VC deadlock schedule, and the
+// nonminimal-candidate machinery; the routing mechanism (src/routing/) owns
+// every misrouting decision and the state behind it (contention counters,
+// triggers, the ECtN snapshot), reading engine state only through the
+// routing::EngineProbe surface this class implements.
 //
 // Model summary
 //  - Packet granularity, virtual cut-through-ish: a packet occupies its link
@@ -15,13 +18,15 @@
 //  - A separable input-first allocator arbitrates the crossbar each cycle;
 //    the router frequency speedup of Table I is modeled as extra allocator
 //    iterations per cycle.
-//  - Contention counters track, per output port, how many packet heads'
-//    *minimal* route uses that port — deliberately independent of the actual
-//    routing decision (the property behind the paper's Figure 9).
-//  - Global misrouting is decided at injection (CB/UGAL/PB/VAL) or in
-//    transit (OLM/CB, where the topology's in-transit policy allows);
-//    opportunistic local misrouting diverts a blocked head one extra local
-//    hop on topologies that expose detour ports.
+//  - Contention counters (owned by the routing mechanism, maintained by the
+//    engine's head/tail hooks) track, per output port, how many packet
+//    heads' *minimal* route uses that port — deliberately independent of
+//    the actual routing decision (the property behind the paper's Figure 9).
+//  - Global misrouting is decided by the mechanism at injection
+//    (CB/UGAL/PB/VAL) or in transit (OLM/CB, where the topology's
+//    in-transit policy allows); opportunistic local misrouting diverts a
+//    blocked head one extra local hop on topologies that expose detour
+//    ports.
 //
 // After warmup the steady-state step performs zero heap allocations: packets
 // come from a pooled free list, queues and scratch are preallocated, and the
@@ -71,13 +76,12 @@
 #include <thread>
 #include <vector>
 
-#include "core/contention_counters.hpp"
 #include "core/ectn_state.hpp"
-#include "core/triggers.hpp"
 #include "engine/packet_pool.hpp"
 #include "engine/spin_barrier.hpp"
 #include "fault/fault_model.hpp"
 #include "router/allocator.hpp"
+#include "routing/mechanism.hpp"
 #include "sim/config.hpp"
 #include "telemetry/packet_trace.hpp"
 #include "telemetry/phase_profiler.hpp"
@@ -90,7 +94,7 @@
 
 namespace dfsim {
 
-class Simulator {
+class Simulator : private routing::EngineProbe {
  public:
   struct Delivery {
     Cycle birth = 0;
@@ -354,7 +358,9 @@ class Simulator {
   void deliver_arrivals(Shard& sh);
   void inject_traffic(Shard& sh);
   void route_and_allocate(Shard& sh);
-  void update_ectn(Shard& sh);
+  /// Mechanism update window plus (when enabled) the ECtN overhead-monitor
+  /// scan and the telemetry update count, for this shard's router range.
+  void update_mechanism(Shard& sh);
 
   // --- queue helpers (flat queue index q)
   [[nodiscard]] std::int32_t queue_index(RouterId r, PortIndex in_port,
@@ -394,10 +400,12 @@ class Simulator {
   /// range is exhausted — the injection is then refused deterministically).
   [[nodiscard]] std::int32_t allocate_packet(Shard& sh);
   void release_packet(Shard& sh, std::int32_t packet);
-  /// True when the coming cycle is an ECtN update cycle; pure function of
-  /// shared immutable config plus now_, so every shard agrees on the
-  /// barrier schedule.
-  [[nodiscard]] bool ectn_update_due() const;
+  /// True when the coming cycle is a mechanism (or monitor) update cycle;
+  /// pure function of shared immutable config plus now_, so every shard
+  /// agrees on the barrier schedule.
+  [[nodiscard]] bool mechanism_update_due() const;
+  /// The ECtN overhead monitor's own schedule (API-enabled, serial only).
+  [[nodiscard]] bool monitor_update_due() const;
 
   // --- observability (every call site is gated behind telemetry_on_ /
   // trace_on_ / profile_on_, so disabled runs take predicted-false branches
@@ -432,37 +440,25 @@ class Simulator {
   void maybe_transit_misroute(Shard& sh, RouterId r, std::int32_t q,
                               std::int32_t packet);
   void apply_global_misroute(std::int32_t packet, const NonminCandidate& cand);
-  /// Scored candidate sampling (counters, optional ECtN snapshot, optional
-  /// local occupancy); false when no candidate was drawn.
-  [[nodiscard]] bool pick_misroute_channel(Shard& sh, RouterId r, NodeId dst,
-                                           bool use_snapshot,
-                                           bool use_occupancy,
-                                           NonminCandidate& best);
-  [[nodiscard]] bool ugal_prefers_misroute(Shard& sh, RouterId r,
-                                           std::int32_t packet,
-                                           const NonminCandidate& cand,
-                                           bool global_info);
 
-  // --- state probes
-  [[nodiscard]] std::int32_t occupancy_phits(RouterId r, PortIndex out) const;
-  [[nodiscard]] std::int32_t port_capacity_phits(PortIndex out) const;
+  // --- state probes (the routing::EngineProbe surface the mechanism reads
+  // engine state through)
+  [[nodiscard]] std::int32_t occupancy_phits(RouterId r,
+                                             PortIndex out) const override;
+  [[nodiscard]] std::int32_t port_capacity_phits(PortIndex out) const override;
   /// occupancy_phits through the cycle-start snapshot when `r` belongs to
   /// another shard (live credit state of a remote router is unreadable
   /// mid-cycle); the live value — serial behavior — otherwise.
-  [[nodiscard]] std::int32_t probe_occupancy_phits(const Shard& sh, RouterId r,
-                                                   PortIndex out) const;
-  /// Occupancy-fraction credit trigger (OLM/Hybrid/PB and local detours).
-  [[nodiscard]] bool credit_fires(RouterId r, PortIndex out,
-                                  double fraction) const {
-    return CreditOccupancyTrigger{fraction}.fires(occupancy_phits(r, out),
-                                                  port_capacity_phits(out));
-  }
-  /// credit_fires through probe_occupancy_phits (remote-safe).
-  [[nodiscard]] bool probe_credit_fires(const Shard& sh, RouterId r,
-                                        PortIndex out, double fraction) const {
-    return CreditOccupancyTrigger{fraction}.fires(
-        probe_occupancy_phits(sh, r, out), port_capacity_phits(out));
-  }
+  [[nodiscard]] std::int32_t probe_occupancy_phits(std::int32_t shard,
+                                                   RouterId r,
+                                                   PortIndex out) const override;
+  /// Free credits on the VC a packet in state `vc_state` would take on
+  /// (r, out) — OLM's blocked test.
+  [[nodiscard]] std::int32_t free_credits(RouterId r, PortIndex out,
+                                          std::int8_t vc_state) const override;
+  [[nodiscard]] std::int32_t fault_extra_latency(RouterId r,
+                                                 PortIndex out) const override;
+  [[nodiscard]] bool fault_overlay() const override { return fault_on_; }
   /// Configured VC count of `out`'s port class.
   [[nodiscard]] std::int32_t class_vcs(PortIndex out) const {
     if (out >= fwd_) return params_.router.vcs_injection;
@@ -515,7 +511,6 @@ class Simulator {
   std::vector<std::int32_t> link_delay_;       // latency + pipeline
 
   // --- routers
-  ContentionCounters counters_;  // flat over routers * radix output ports
   std::vector<SeparableAllocator> allocators_;
 
   // --- active sets: queue-occupancy bits (bit ip*vmax+vc of router r's
@@ -549,8 +544,9 @@ class Simulator {
   // Packet-id range bounds per shard (n_shards + 1 entries).
   std::vector<std::int32_t> shard_id_base_;
   // Cycle-start occupancy snapshot (phits) per flat forward port, refreshed
-  // by each port's owner at the merge point; read by remote UGAL-G/PB
-  // probes. Only allocated when such probes exist (snap_on_).
+  // by each port's owner at the merge point; read by the mechanism's remote
+  // probes (wants_remote_probes: UGAL-G, PB). Only allocated when such
+  // probes exist (snap_on_).
   bool snap_on_ = false;
   std::vector<std::int32_t> occ_snap_;
   // Worker dispatch: workers park on cv_ between run() calls (no spinning
@@ -568,17 +564,19 @@ class Simulator {
   // after the barrier — keeps all shards' barrier counts aligned without
   // racing on fault_next_event_.
   bool fault_cycle_ = false;
-  bool ectn_cycle_ = false;
+  bool mech_cycle_ = false;
   static std::atomic<std::int32_t> jitter_us_;
   // Merged-view caches for the const accessors (threads > 1 only).
   mutable Metrics merged_metrics_;
   mutable Totals merged_totals_;
   mutable std::vector<Delivery> merged_deliveries_;
 
-  // --- mechanisms
-  ContentionThresholdTrigger base_trigger_;
-  ContentionThresholdTrigger hybrid_trigger_;
-  EctnSnapshot ectn_;
+  // --- routing mechanism (src/routing/factory.hpp picks the instance; the
+  // capability flags are cached so disabled decision paths cost one
+  // predicted branch)
+  std::unique_ptr<routing::RoutingMechanism> routing_;
+  bool inject_decides_ = false;
+  bool transit_decides_ = false;
   EctnOverheadMonitor ectn_monitor_;
   bool ectn_monitor_enabled_ = false;
   std::int32_t ectn_bits_per_counter_ = 4;

@@ -1,0 +1,37 @@
+#include "routing/factory.hpp"
+
+#include <stdexcept>
+
+#include "routing/contention.hpp"
+#include "routing/oblivious.hpp"
+#include "routing/ugal.hpp"
+
+namespace dfsim::routing {
+
+std::unique_ptr<RoutingMechanism> make_mechanism(const SimParams& params,
+                                                 const Topology& topo,
+                                                 const EngineProbe& engine) {
+  switch (params.routing.kind) {
+    case RoutingKind::kMin:
+      return std::make_unique<MinMechanism>(params, topo, engine);
+    case RoutingKind::kValiant:
+      return std::make_unique<ValiantMechanism>(params, topo, engine);
+    case RoutingKind::kUgalL:
+      return std::make_unique<UgalMechanism>(params, topo, engine, false);
+    case RoutingKind::kUgalG:
+      return std::make_unique<UgalMechanism>(params, topo, engine, true);
+    case RoutingKind::kPiggyback:
+      return std::make_unique<PiggybackMechanism>(params, topo, engine);
+    case RoutingKind::kOlm:
+      return std::make_unique<OlmMechanism>(params, topo, engine);
+    case RoutingKind::kCbBase:
+      return std::make_unique<CbBaseMechanism>(params, topo, engine);
+    case RoutingKind::kCbHybrid:
+      return std::make_unique<CbHybridMechanism>(params, topo, engine);
+    case RoutingKind::kCbEctn:
+      return std::make_unique<EctnMechanism>(params, topo, engine);
+  }
+  throw std::invalid_argument("unknown routing kind");
+}
+
+}  // namespace dfsim::routing

@@ -1,0 +1,18 @@
+// The one place that maps RoutingKind to a RoutingMechanism instance. The
+// engine calls this once at construction and dispatches through the
+// interface from then on (CHK-DISPATCH keeps RoutingKind out of the engine).
+#pragma once
+
+#include <memory>
+
+#include "routing/mechanism.hpp"
+
+namespace dfsim::routing {
+
+/// Instantiates the mechanism `params.routing.kind` selects. Throws
+/// std::invalid_argument when the topology cannot satisfy the mechanism's
+/// preconditions (ECtN off-dragonfly).
+[[nodiscard]] std::unique_ptr<RoutingMechanism> make_mechanism(
+    const SimParams& params, const Topology& topo, const EngineProbe& engine);
+
+}  // namespace dfsim::routing

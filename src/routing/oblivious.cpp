@@ -1,0 +1,17 @@
+#include "routing/oblivious.hpp"
+
+namespace dfsim::routing {
+
+Decision ValiantMechanism::decide_injection(Rng& rng, std::int32_t, RouterId r,
+                                            NodeId dst) {
+  Decision dec;
+  NonminCandidate cand;
+  if (topo_.sample_valiant(rng, r, dst, cand)) {
+    dec.misroute = true;
+    dec.cause = telemetry::MisrouteCause::kValiant;
+    dec.cand = cand;
+  }
+  return dec;
+}
+
+}  // namespace dfsim::routing

@@ -1,0 +1,25 @@
+// Oblivious mechanisms: minimal routing (no decision at all — the shared
+// contention counters still run, feeding telemetry and the ECtN overhead
+// monitor) and Valiant (uniform-random intermediate, misroutes every
+// eligible packet at injection).
+#pragma once
+
+#include "routing/mechanism.hpp"
+
+namespace dfsim::routing {
+
+class MinMechanism final : public RoutingMechanism {
+ public:
+  using RoutingMechanism::RoutingMechanism;
+};
+
+class ValiantMechanism final : public RoutingMechanism {
+ public:
+  using RoutingMechanism::RoutingMechanism;
+
+  [[nodiscard]] bool decides_at_injection() const override { return true; }
+  Decision decide_injection(Rng& rng, std::int32_t shard, RouterId r,
+                            NodeId dst) override;
+};
+
+}  // namespace dfsim::routing

@@ -1,0 +1,38 @@
+// Source-adaptive UGAL family: UGAL-L (local credit estimates), UGAL-G
+// (idealized remote queue knowledge via the topology's probe points) and
+// Piggyback (UGAL-L plus the piggybacked remote link-state flag for the
+// minimal route). All decide once, at injection.
+#pragma once
+
+#include "routing/mechanism.hpp"
+
+namespace dfsim::routing {
+
+class UgalMechanism : public RoutingMechanism {
+ public:
+  UgalMechanism(const SimParams& params, const Topology& topo,
+                const EngineProbe& engine, bool global_info)
+      : RoutingMechanism(params, topo, engine), global_info_(global_info) {}
+
+  [[nodiscard]] bool decides_at_injection() const override { return true; }
+  [[nodiscard]] bool wants_remote_probes() const override {
+    return global_info_;
+  }
+  Decision decide_injection(Rng& rng, std::int32_t shard, RouterId r,
+                            NodeId dst) override;
+
+ private:
+  bool global_info_;
+};
+
+class PiggybackMechanism final : public RoutingMechanism {
+ public:
+  using RoutingMechanism::RoutingMechanism;
+
+  [[nodiscard]] bool decides_at_injection() const override { return true; }
+  [[nodiscard]] bool wants_remote_probes() const override { return true; }
+  Decision decide_injection(Rng& rng, std::int32_t shard, RouterId r,
+                            NodeId dst) override;
+};
+
+}  // namespace dfsim::routing

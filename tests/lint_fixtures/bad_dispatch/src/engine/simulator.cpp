@@ -1,0 +1,14 @@
+// Seeded CHK-DISPATCH violation: the engine switches on the routing-kind
+// enum instead of dispatching through the RoutingMechanism interface.
+namespace dfsim {
+
+void Simulator::decide_injection() {
+  switch (params_.routing.kind) {  // VIOLATION: RoutingKind leak
+    case RoutingKind::kMin:
+      return;
+    default:
+      break;
+  }
+}
+
+}  // namespace dfsim

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Meta-test for tools/dfsim_check: each seeded fixture violation under
 tests/lint_fixtures/ must be detected by its check, and the repository at
-HEAD must be clean under all five checks. Wired in as the `dfsim_check`
+HEAD must be clean under all six checks. Wired in as the `dfsim_check`
 ctest, so a check that silently stops firing fails the build."""
 
 import os
@@ -22,6 +22,7 @@ CASES = {
                                  "documented"),
     "bad_schema": ("CHK-SCHEMA", "`surprise_field` is written by schema.cpp "
                                  "but not documented"),
+    "bad_dispatch": ("CHK-DISPATCH", "engine references `RoutingKind`"),
 }
 
 
@@ -47,12 +48,13 @@ def main():
         else:
             print(f"ok  {fixture}: {check} detects the seeded violation")
 
-    proc = run(REPO, "CHK-RNG,CHK-GATE,CHK-ALLOC,CHK-CONFIG,CHK-SCHEMA")
+    proc = run(REPO,
+               "CHK-RNG,CHK-GATE,CHK-ALLOC,CHK-CONFIG,CHK-SCHEMA,CHK-DISPATCH")
     if proc.returncode != 0:
         failures.append("HEAD is not clean under dfsim_check:\n"
                         + proc.stdout + proc.stderr)
     else:
-        print("ok  HEAD: all five checks clean")
+        print("ok  HEAD: all six checks clean")
 
     # The violation messages must carry their check IDs so CI logs and the
     # fixture assertions above stay greppable.

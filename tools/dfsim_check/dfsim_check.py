@@ -2,7 +2,7 @@
 """dfsim_check: invariant-enforcing static analysis for the dfsim codebase.
 
 Mechanizes the hand-enforced disciplines documented in ARCHITECTURE.md
-("Invariants") as five checks:
+("Invariants") as six checks:
 
   CHK-RNG     Every RNG draw call site in the simulation sources appears in
               the committed allowlist tools/dfsim_check/rng_sites.txt with a
@@ -38,6 +38,12 @@ Mechanizes the hand-enforced disciplines documented in ARCHITECTURE.md
               (the doc must name the exact kSchemaVersion string), so a
               schema bump forces a documentation pass (invariant 5).
 
+  CHK-DISPATCH  The engine never names the routing-kind enum: mechanism
+              selection lives in src/routing/factory.cpp alone and
+              src/engine/simulator.{cpp,hpp} dispatch every routing decision
+              through the RoutingMechanism interface, so adding a mechanism
+              cannot reintroduce per-kind switches into the hot path.
+
 The analysis is a plain-Python "AST-lite" pass: a comment/string-aware
 scanner, a brace-structure function extractor, and a guard-dominance
 heuristic. It needs no compiler, so CI can never soft-skip it. When a
@@ -56,15 +62,18 @@ import re
 import sys
 from dataclasses import dataclass, field
 
-ALL_CHECKS = ("CHK-RNG", "CHK-GATE", "CHK-ALLOC", "CHK-CONFIG", "CHK-SCHEMA")
+ALL_CHECKS = ("CHK-RNG", "CHK-GATE", "CHK-ALLOC", "CHK-CONFIG", "CHK-SCHEMA",
+              "CHK-DISPATCH")
 
 # --- CHK-RNG configuration ---------------------------------------------------
 
 # Directory (under src/) -> RNG stream its draw sites must belong to.
-# engine/topo/fbfly/router/core draw from the simulator's routing stream
-# (triggers receive it by reference); traffic, fault and trace own theirs.
+# engine/routing/topo/fbfly/router/core draw from the simulator's routing
+# stream (mechanisms and triggers receive it by reference); traffic, fault
+# and trace own theirs.
 STREAM_OF_DIR = {
     "engine": "routing",
+    "routing": "routing",
     "topo": "routing",
     "fbfly": "routing",
     "router": "routing",
@@ -121,6 +130,16 @@ ALLOC_PATTERNS = (
 )
 
 WAIVER = re.compile(r"dfsim-check:\s*allow\((CHK-[A-Z]+)\)\s*:\s*(\S.*)")
+
+# --- CHK-DISPATCH configuration ----------------------------------------------
+
+# Engine files that must stay mechanism-agnostic: naming the routing-kind
+# enum (or re-reading the selector key) from the engine is how per-kind
+# switches creep back into the hot path. Selection belongs to
+# src/routing/factory.cpp; everything after construction is virtual dispatch
+# through the RoutingMechanism interface.
+DISPATCH_FILES = ("src/engine/simulator.cpp", "src/engine/simulator.hpp")
+DISPATCH_TOKEN = re.compile(r"\bRoutingKind\b|\brouting\s*\.\s*kind\b")
 
 # --- CHK-CONFIG configuration ------------------------------------------------
 
@@ -883,6 +902,22 @@ class Analysis:
                           f"results field `{fieldname}` is written by "
                           f"schema.cpp but not documented in {SCHEMA_DOC}")
 
+    # --- CHK-DISPATCH
+
+    def check_dispatch(self):
+        for relpath in DISPATCH_FILES:
+            src = self.load(relpath)
+            if src is None:
+                self.fail("CHK-DISPATCH", relpath, 1, "engine file missing")
+                continue
+            for m in DISPATCH_TOKEN.finditer(src.nostrings):
+                self.fail("CHK-DISPATCH", relpath, src.line_of(m.start()),
+                          f"engine references `{m.group(0).strip()}`: "
+                          "mechanism selection belongs in src/routing/ "
+                          "(factory.cpp) — the engine must dispatch through "
+                          "the RoutingMechanism interface only",
+                          waivable=True)
+
     # --- driver
 
     def run(self, checks: list[str]) -> int:
@@ -892,6 +927,7 @@ class Analysis:
             "CHK-ALLOC": self.check_alloc,
             "CHK-CONFIG": self.check_config,
             "CHK-SCHEMA": self.check_schema,
+            "CHK-DISPATCH": self.check_dispatch,
         }
         for check in checks:
             dispatch[check]()

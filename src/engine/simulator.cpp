@@ -69,6 +69,7 @@ Simulator::Simulator(const SimParams& params,
   routing_ = routing::make_mechanism(params_, topo_, *this);
   inject_decides_ = routing_->decides_at_injection();
   transit_decides_ = routing_->decides_in_transit();
+  throttle_on_ = routing_->throttles_injection();
 
   build_layout();
   build_shards();
@@ -586,7 +587,7 @@ void Simulator::decide_injection(Shard& sh, RouterId r, std::int32_t packet) {
   if (topo_.min_channel(r, d) < 0) return;  // no nonminimal option applies
 
   const routing::Decision dec =
-      routing_->decide_injection(sh.rng, sh.index, r, d);
+      routing_->decide_injection(sh.rng, now_, sh.index, r, d);
   if (dec.misroute) {
     apply_global_misroute(packet, dec.cand);
     note_misroute(r, packet, dec.cause);
@@ -737,6 +738,13 @@ void Simulator::inject_traffic(Shard& sh) {
     ++sh.totals.generated;
 
     const RouterId r = topo_.router_of_node(inj.src);
+    if (throttle_on_ && !routing_->admit_injection(now_, r, inj.dst)) {
+      // Source throttle (ARN variant): same accounting as a full queue.
+      ++sh.metrics.refused;
+      ++sh.totals.refused;
+      if (telemetry_on_) sink_.count_refusal(r);
+      continue;
+    }
     const PortIndex ip = fwd_ + (inj.src % topo_.concentration());
     const std::int32_t q = queue_index(r, ip, 0);
     if (q_free_[static_cast<std::size_t>(q)] <= 0) {

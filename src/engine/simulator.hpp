@@ -577,6 +577,7 @@ class Simulator : private routing::EngineProbe {
   std::unique_ptr<routing::RoutingMechanism> routing_;
   bool inject_decides_ = false;
   bool transit_decides_ = false;
+  bool throttle_on_ = false;
   EctnOverheadMonitor ectn_monitor_;
   bool ectn_monitor_enabled_ = false;
   std::int32_t ectn_bits_per_counter_ = 4;

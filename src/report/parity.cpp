@@ -357,6 +357,77 @@ void fault_transient_gates(const ResultsDoc& doc,
           " (gate: post >= pre + 1)"));
 }
 
+void notification_gates(const ResultsDoc& doc,
+                        std::vector<GateOutcome>& out) {
+  // Panel 0: UN->ADV+1 transient (adaptation speed); panel 1: steady ADV+1
+  // load grid (sustained throughput). Registry defaults produce both; a
+  // hand-rolled line-up that drops a reference series SKIPs its gate.
+  if (doc.panels.empty() || doc.panels[0].kind != Panel::Kind::kTransient) {
+    out.push_back(skip(doc, "notify-adaptation", "transient panel missing"));
+  } else {
+    const Panel& panel = doc.panels[0];
+    if (!has_series(panel, {"Base", "ARN"})) {
+      out.push_back(skip(doc, "notify-adaptation", "Base/ARN series missing"));
+    } else {
+      // Notifications must engage within a bounded window of the counter
+      // trigger: the first 50 post-switch birth cycles. Observed at
+      // tiny/seed 1: ARN ~19% vs Base ~13% (notifications raised during
+      // the UN phase give ARN a head start); gate at half the counter
+      // trigger's response plus an absolute floor.
+      const double arn_a = early_misroute_avg(panel, "ARN", 50.0);
+      const double base_a = early_misroute_avg(panel, "Base", 50.0);
+      out.push_back(outcome(
+          doc, "notify-adapts-with-counter",
+          std::isfinite(arn_a) && std::isfinite(base_a) &&
+              arn_a >= 0.5 * base_a && arn_a >= 5.0,
+          "mean misrouted % over cycles [0,50): ARN " +
+              format_fixed(arn_a, 1) + " vs Base " + format_fixed(base_a, 1) +
+              " (gate: ARN >= 0.5x Base and >= 5%)"));
+    }
+    if (!has_series(panel, {"ARN", "ARN+thr"})) {
+      out.push_back(
+          skip(doc, "throttle-suppresses-misroutes", "ARN+thr missing"));
+    } else {
+      // The throttle variant refuses exactly the injections ARN would
+      // misroute, so its misrouted share must collapse relative to ARN's
+      // across the whole post-switch window. Observed: ~1% vs ~40%.
+      const double arn_m = early_misroute_avg(panel, "ARN", 250.0);
+      const double thr_m = early_misroute_avg(panel, "ARN+thr", 250.0);
+      out.push_back(outcome(
+          doc, "throttle-suppresses-misroutes",
+          std::isfinite(arn_m) && std::isfinite(thr_m) &&
+              thr_m <= 0.5 * arn_m,
+          "mean misrouted % over cycles [0,250): ARN+thr " +
+              format_fixed(thr_m, 1) + " vs ARN " + format_fixed(arn_m, 1) +
+              " (gate: ARN+thr <= 0.5x ARN)"));
+    }
+  }
+
+  if (doc.panels.size() < 2 || doc.panels[1].kind != Panel::Kind::kGrid ||
+      doc.panels[1].x_labels.empty()) {
+    out.push_back(skip(doc, "notify-sustains-adv", "steady panel missing"));
+    return;
+  }
+  const Panel& panel = doc.panels[1];
+  if (!has_series(panel, {"MIN", "VAL", "ARN"})) {
+    out.push_back(skip(doc, "notify-sustains-adv", "MIN/VAL/ARN missing"));
+    return;
+  }
+  // Sustained ADV+1 throughput at the top load tick: ARN must stay within
+  // the Valiant bound's ballpark and clear MIN's collapse decisively.
+  // Observed at tiny/seed 1 (load 0.4): ARN 0.370, VAL 0.395, MIN 0.125.
+  const std::size_t top = panel.x_labels.size() - 1;
+  const double arn_t = cell(panel, "throughput", top, panel.series_index("ARN"));
+  const double val_t = cell(panel, "throughput", top, panel.series_index("VAL"));
+  const double min_t = cell(panel, "throughput", top, panel.series_index("MIN"));
+  out.push_back(outcome(
+      doc, "notify-sustains-adv",
+      std::isfinite(arn_t) && arn_t >= 0.8 * val_t && arn_t >= 2.0 * min_t,
+      "top-load accepted: ARN " + format_fixed(arn_t, 3) + ", VAL " +
+          format_fixed(val_t, 3) + ", MIN " + format_fixed(min_t, 3) +
+          " (gate: ARN >= 0.8x VAL and >= 2x MIN)"));
+}
+
 void congestion_map_gates(const ResultsDoc& doc,
                           std::vector<GateOutcome>& out) {
   const Panel* panel = doc.panel("mechanism summary");
@@ -417,6 +488,9 @@ std::vector<GateOutcome> check_trend_gates(const ResultsDoc& doc) {
   }
   if (doc.header.experiment == "fault_transient") {
     fault_transient_gates(doc, out);
+  }
+  if (doc.header.experiment == "notification_transient") {
+    notification_gates(doc, out);
   }
   if (doc.header.experiment == "congestion_map") {
     congestion_map_gates(doc, out);

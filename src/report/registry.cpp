@@ -722,6 +722,63 @@ ResultsDoc run_fault_transient(RunContext ctx) {
 }
 
 // -------------------------------------------------------------------------
+// Notification family (ARN): adaptation speed and sustained throughput.
+
+ResultsDoc run_notification_transient(RunContext ctx) {
+  ctx.default_traffic(TrafficKind::kAdversarial, 1);
+  const std::int32_t reps = ctx.reps_or(5);
+  const TransientOptions topt = un_to_adv_switch(ctx, 0.2, 50, 250, reps);
+
+  // Transient panel: the counter trigger (Base) and the credit trigger
+  // (PB) frame the notification family's adaptation speed; the throttle
+  // variant rides along to show refusal does not stall recovery.
+  std::vector<TransientSeries> series;
+  for (const RoutingKind kind :
+       ctx.lineup_or({RoutingKind::kCbBase, RoutingKind::kPiggyback})) {
+    SimParams p = ctx.base;
+    p.routing.kind = kind;
+    series.push_back(TransientSeries{to_string(kind), p});
+  }
+  {
+    SimParams p = ctx.base;
+    p.routing.kind = RoutingKind::kArn;
+    p.notify.enabled = true;
+    series.push_back(TransientSeries{"ARN", p});
+    p.notify.throttle_injection = true;
+    series.push_back(TransientSeries{"ARN+thr", p});
+  }
+
+  ResultsDoc doc;
+  doc.panels.push_back(run_transient_panel("UN->ADV+1@0.2", series, topt,
+                                           /*step=*/10, /*window=*/10));
+
+  // Steady ADV+1 panel for the throughput gates: VAL is the 0.5-bound
+  // reference the notification family must not fall under at saturating
+  // load; MIN marks the un-adaptive floor it must clear.
+  std::vector<GridSeries> steady;
+  for (const RoutingKind kind :
+       {RoutingKind::kMin, RoutingKind::kValiant, RoutingKind::kCbBase}) {
+    steady.push_back(GridSeries{
+        to_string(kind), [kind](SimParams& p) { p.routing.kind = kind; }});
+  }
+  steady.push_back(GridSeries{"ARN", [](SimParams& p) {
+                                p.routing.kind = RoutingKind::kArn;
+                                p.notify.enabled = true;
+                              }});
+  steady.push_back(GridSeries{"ARN+thr", [](SimParams& p) {
+                                p.routing.kind = RoutingKind::kArn;
+                                p.notify.enabled = true;
+                                p.notify.throttle_injection = true;
+                              }});
+  doc.panels.push_back(run_grid_panel(
+      "ADV+1 steady", "load", ctx.base,
+      load_ticks(ctx.loads_or({0.1, 0.2, 0.3, 0.4})), steady, ctx.options,
+      ctx.threads));
+  fill_header(doc, ctx, reps);
+  return doc;
+}
+
+// -------------------------------------------------------------------------
 // Observability: backlog formation through the spatial telemetry sink.
 
 ResultsDoc run_congestion_map(RunContext ctx) {
@@ -1040,6 +1097,19 @@ const std::vector<ExperimentSpec>& experiment_registry() {
        "head-of-line contention within tens of cycles; the credit triggers "
        "(OLM, PB) respond only after the surviving links' buffers fill.",
        run_fault_transient},
+      {"notification_transient",
+       "ARN — congestion-notification response to an ADV+1 onset",
+       "beyond the paper", "dragonfly",
+       "The adaptive-routing-notification family (arXiv 2502.00616; "
+       "throttle variant arXiv 2502.00597) on Figure-7 machinery: routers "
+       "over the notify.threshold occupancy broadcast notifications that go "
+       "live propagation_delay cycles later and decay only by expiry. "
+       "Sources misroute (ARN) or additionally refuse injection (ARN+thr) "
+       "while the minimal route is under a live notification. The transient "
+       "panel frames adaptation speed between the counter trigger (Base) "
+       "and the credit trigger (PB); the steady ADV+1 panel holds the "
+       "family to the Valiant throughput bound.",
+       run_notification_transient},
       {"congestion_map",
        "Observability — per-group backlog formation under ADV+1",
        "beyond the paper", "dragonfly",

@@ -383,6 +383,18 @@ std::string canonical_params_text(const SimParams& p) {
     f64("trace.sample_rate", p.trace.sample_rate);
     i32("trace.max_events", static_cast<std::int32_t>(p.trace.max_events));
   }
+  // Notification plane (ARN family), same gating discipline: configs that
+  // never enable it keep their exact pre-notification hashes.
+  if (p.notify.enabled) {
+    boolean("notify.enabled", true);
+    f64("notify.threshold", p.notify.threshold);
+    i32("notify.update_period",
+        static_cast<std::int32_t>(p.notify.update_period));
+    i32("notify.propagation_delay",
+        static_cast<std::int32_t>(p.notify.propagation_delay));
+    i32("notify.expiry", static_cast<std::int32_t>(p.notify.expiry));
+    boolean("notify.throttle_injection", p.notify.throttle_injection);
+  }
   // Sharded execution, emitted only off-default: serial configs keep their
   // exact pre-sharding canonical text (and hash). Thread count is in the
   // hash because parallel results are deterministic per (seed, threads) but

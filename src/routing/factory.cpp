@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "routing/contention.hpp"
+#include "routing/notification.hpp"
 #include "routing/oblivious.hpp"
 #include "routing/ugal.hpp"
 
@@ -30,6 +31,8 @@ std::unique_ptr<RoutingMechanism> make_mechanism(const SimParams& params,
       return std::make_unique<CbHybridMechanism>(params, topo, engine);
     case RoutingKind::kCbEctn:
       return std::make_unique<EctnMechanism>(params, topo, engine);
+    case RoutingKind::kArn:
+      return std::make_unique<ArnMechanism>(params, topo, engine);
   }
   throw std::invalid_argument("unknown routing kind");
 }

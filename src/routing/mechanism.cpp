@@ -20,8 +20,8 @@ RoutingMechanism::RoutingMechanism(const SimParams& params,
 
 RoutingMechanism::~RoutingMechanism() = default;
 
-Decision RoutingMechanism::decide_injection(Rng&, std::int32_t, RouterId,
-                                            NodeId) {
+Decision RoutingMechanism::decide_injection(Rng&, Cycle, std::int32_t,
+                                            RouterId, NodeId) {
   return {};
 }
 

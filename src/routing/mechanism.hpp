@@ -135,8 +135,8 @@ class RoutingMechanism {
   [[nodiscard]] virtual bool throttles_injection() const { return false; }
 
   // --- decisions
-  virtual Decision decide_injection(Rng& rng, std::int32_t shard, RouterId r,
-                                    NodeId dst);
+  virtual Decision decide_injection(Rng& rng, Cycle now, std::int32_t shard,
+                                    RouterId r, NodeId dst);
   virtual Decision decide_transit(Rng& rng, std::int32_t shard, RouterId r,
                                   NodeId dst, std::int8_t vc_state,
                                   PortIndex min_port, std::int32_t min_channel);

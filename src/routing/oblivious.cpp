@@ -2,8 +2,8 @@
 
 namespace dfsim::routing {
 
-Decision ValiantMechanism::decide_injection(Rng& rng, std::int32_t, RouterId r,
-                                            NodeId dst) {
+Decision ValiantMechanism::decide_injection(Rng& rng, Cycle, std::int32_t,
+                                            RouterId r, NodeId dst) {
   Decision dec;
   NonminCandidate cand;
   if (topo_.sample_valiant(rng, r, dst, cand)) {

@@ -18,8 +18,8 @@ class ValiantMechanism final : public RoutingMechanism {
   using RoutingMechanism::RoutingMechanism;
 
   [[nodiscard]] bool decides_at_injection() const override { return true; }
-  Decision decide_injection(Rng& rng, std::int32_t shard, RouterId r,
-                            NodeId dst) override;
+  Decision decide_injection(Rng& rng, Cycle now, std::int32_t shard,
+                            RouterId r, NodeId dst) override;
 };
 
 }  // namespace dfsim::routing

@@ -2,7 +2,7 @@
 
 namespace dfsim::routing {
 
-Decision UgalMechanism::decide_injection(Rng& rng, std::int32_t shard,
+Decision UgalMechanism::decide_injection(Rng& rng, Cycle, std::int32_t shard,
                                          RouterId r, NodeId dst) {
   Decision dec;
   NonminCandidate cand;
@@ -15,8 +15,9 @@ Decision UgalMechanism::decide_injection(Rng& rng, std::int32_t shard,
   return dec;
 }
 
-Decision PiggybackMechanism::decide_injection(Rng& rng, std::int32_t shard,
-                                              RouterId r, NodeId dst) {
+Decision PiggybackMechanism::decide_injection(Rng& rng, Cycle,
+                                              std::int32_t shard, RouterId r,
+                                              NodeId dst) {
   // Remote link-state flag for the minimal route (piggybacked state in the
   // paper; read directly here) OR the local UGAL estimate.
   RemoteProbe probe;
@@ -30,7 +31,10 @@ Decision PiggybackMechanism::decide_injection(Rng& rng, std::int32_t shard,
       (min_congested ||
        ugal_prefers_misroute(shard, r, dst, cand, false))) {
     dec.misroute = true;
-    dec.cause = telemetry::MisrouteCause::kUgal;
+    // The piggybacked flag gets its own cause so heatmap per-cause panels
+    // can separate PB's remote-state misroutes from the UGAL estimate's.
+    dec.cause = min_congested ? telemetry::MisrouteCause::kPiggyback
+                              : telemetry::MisrouteCause::kUgal;
     dec.cand = cand;
   }
   return dec;

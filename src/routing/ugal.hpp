@@ -18,8 +18,8 @@ class UgalMechanism : public RoutingMechanism {
   [[nodiscard]] bool wants_remote_probes() const override {
     return global_info_;
   }
-  Decision decide_injection(Rng& rng, std::int32_t shard, RouterId r,
-                            NodeId dst) override;
+  Decision decide_injection(Rng& rng, Cycle now, std::int32_t shard,
+                            RouterId r, NodeId dst) override;
 
  private:
   bool global_info_;
@@ -31,8 +31,8 @@ class PiggybackMechanism final : public RoutingMechanism {
 
   [[nodiscard]] bool decides_at_injection() const override { return true; }
   [[nodiscard]] bool wants_remote_probes() const override { return true; }
-  Decision decide_injection(Rng& rng, std::int32_t shard, RouterId r,
-                            NodeId dst) override;
+  Decision decide_injection(Rng& rng, Cycle now, std::int32_t shard,
+                            RouterId r, NodeId dst) override;
 };
 
 }  // namespace dfsim::routing

@@ -16,6 +16,7 @@ std::string to_string(RoutingKind kind) {
     case RoutingKind::kCbBase: return "Base";
     case RoutingKind::kCbHybrid: return "Hybrid";
     case RoutingKind::kCbEctn: return "ECtN";
+    case RoutingKind::kArn: return "ARN";
   }
   return "?";
 }
@@ -54,6 +55,7 @@ RoutingKind routing_kind_from_string(const std::string& name) {
   if (n == "base" || n == "cb" || n == "cb-base") return RoutingKind::kCbBase;
   if (n == "hybrid" || n == "cb-hybrid") return RoutingKind::kCbHybrid;
   if (n == "ectn" || n == "cb-ectn") return RoutingKind::kCbEctn;
+  if (n == "arn" || n == "notify") return RoutingKind::kArn;
   throw std::invalid_argument("unknown routing mechanism: " + name);
 }
 

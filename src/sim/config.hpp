@@ -27,6 +27,7 @@ enum class RoutingKind : std::uint8_t {
   kCbBase,     // contention counters, threshold trigger (Base)
   kCbHybrid,   // contention + credit hybrid trigger (Hybrid)
   kCbEctn,     // contention + explicit contention notification (ECtN)
+  kArn,        // adaptive-routing-notification family (notify.* knobs)
 };
 
 [[nodiscard]] std::string to_string(RoutingKind kind);
@@ -210,6 +211,30 @@ struct TraceParams {
   std::int64_t max_events = 1 << 20;
 };
 
+/// Congestion-notification mechanism (src/routing/notification.hpp, the
+/// ARN family of arxiv 2502.00616): routers whose forward links exceed an
+/// occupancy threshold broadcast a notification that becomes visible at
+/// every source after a propagation delay and expires after a staleness
+/// window. Inert unless enabled; `routing.kind = ARN` requires it (the
+/// factory throws otherwise), and the `notify.*` block enters the
+/// canonical params text — and thus config hashes — only when enabled.
+struct NotifyParams {
+  bool enabled = false;
+  /// Occupancy fraction of a forward link's buffer that flags it congested
+  /// during a notification scan (same credit-occupancy test as OLM/PB).
+  double threshold = 0.5;
+  /// Cycles between notification scans (0 disables scanning).
+  Cycle update_period = 20;
+  /// Cycles before a broadcast notification is live at the sources.
+  Cycle propagation_delay = 10;
+  /// Cycles a notification stays live after arrival unless refreshed;
+  /// stale entries stop influencing decisions (no retraction message).
+  Cycle expiry = 60;
+  /// ARN variant that additionally refuses injections whose minimal route
+  /// starts on a live-notified link (arxiv 2502.00597's source throttle).
+  bool throttle_injection = false;
+};
+
 /// Execution-engine knobs. `threads = 1` (the default) runs the legacy
 /// serial cycle loop and is bit-exact with builds that predate sharding;
 /// `threads > 1` partitions routers across barrier-synced worker shards
@@ -233,6 +258,7 @@ struct SimParams {
   FaultParams fault;
   TelemetryParams telemetry;
   TraceParams trace;
+  NotifyParams notify;
   EngineParams engine;
   std::int32_t packet_size_phits = 8;
   std::uint64_t seed = 1;

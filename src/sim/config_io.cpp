@@ -136,6 +136,13 @@ void apply_param(SimParams& p, const std::string& key,
   if (key == "trace.seed") { p.trace.seed = static_cast<std::uint64_t>(to_i32(key, value)); return; }
   if (key == "trace.sample_rate") { p.trace.sample_rate = to_f64(key, value); return; }
   if (key == "trace.max_events") { p.trace.max_events = to_i32(key, value); return; }
+  // Congestion notifications (src/routing/notification.hpp, ARN family)
+  if (key == "notify.enabled") { p.notify.enabled = to_bool(key, value); return; }
+  if (key == "notify.threshold") { p.notify.threshold = to_f64(key, value); return; }
+  if (key == "notify.update_period") { p.notify.update_period = to_i32(key, value); return; }
+  if (key == "notify.propagation_delay") { p.notify.propagation_delay = to_i32(key, value); return; }
+  if (key == "notify.expiry") { p.notify.expiry = to_i32(key, value); return; }
+  if (key == "notify.throttle_injection") { p.notify.throttle_injection = to_bool(key, value); return; }
   // Engine (src/engine/simulator.hpp sharded execution)
   if (key == "engine.threads") { p.engine.threads = to_i32(key, value); return; }
   // Top level

@@ -14,6 +14,8 @@ const char* to_string(MisrouteCause cause) {
     case MisrouteCause::kInTransit: return "in_transit";
     case MisrouteCause::kLocalDetour: return "local_detour";
     case MisrouteCause::kFaultFallback: return "fault_fallback";
+    case MisrouteCause::kPiggyback: return "piggyback";
+    case MisrouteCause::kNotify: return "notify";
   }
   return "unknown";
 }

@@ -38,8 +38,10 @@ enum class MisrouteCause : std::uint8_t {
   kInTransit = 3,     // counter/credit trigger downstream of the source
   kLocalDetour = 4,   // opportunistic one-hop local detour
   kFaultFallback = 5, // topology fallback around a dead link
+  kPiggyback = 6,     // PB's piggybacked remote link state fired
+  kNotify = 7,        // live congestion notification (ARN family)
 };
-inline constexpr std::int32_t kMisrouteCauseCount = 6;
+inline constexpr std::int32_t kMisrouteCauseCount = 8;
 
 [[nodiscard]] const char* to_string(MisrouteCause cause);
 

@@ -74,6 +74,7 @@ const char* enum_name(RoutingKind kind) {
     case RoutingKind::kCbBase: return "kCbBase";
     case RoutingKind::kCbHybrid: return "kCbHybrid";
     case RoutingKind::kCbEctn: return "kCbEctn";
+    case RoutingKind::kArn: return "kArn";
   }
   return "?";
 }

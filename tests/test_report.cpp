@@ -285,7 +285,7 @@ void test_golden_gates() {
 void test_registry_and_render() {
   // Registry sanity: unique names, resolvable, every spec has docs text.
   const auto& registry = experiment_registry();
-  assert(registry.size() == 20);
+  assert(registry.size() == 21);
   for (const ExperimentSpec& spec : registry) {
     assert(find_experiment(spec.name) == &spec);
     assert(std::string(spec.title).size() > 4);

@@ -42,11 +42,13 @@ struct Golden {
 };
 
 // Every kind a topology can instantiate, in enum order. ECtN needs
-// dragonfly group structure; everything else runs everywhere.
+// dragonfly group structure; everything else (ARN included — every
+// topology implements min_link_probe) runs everywhere.
 const RoutingKind kAllKinds[] = {
     RoutingKind::kMin,      RoutingKind::kValiant,  RoutingKind::kUgalL,
     RoutingKind::kUgalG,    RoutingKind::kPiggyback, RoutingKind::kOlm,
     RoutingKind::kCbBase,   RoutingKind::kCbHybrid, RoutingKind::kCbEctn,
+    RoutingKind::kArn,
 };
 
 const char* enum_name(RoutingKind kind) {
@@ -60,6 +62,7 @@ const char* enum_name(RoutingKind kind) {
     case RoutingKind::kCbBase: return "kCbBase";
     case RoutingKind::kCbHybrid: return "kCbHybrid";
     case RoutingKind::kCbEctn: return "kCbEctn";
+    case RoutingKind::kArn: return "kArn";
   }
   return "?";
 }
@@ -91,6 +94,7 @@ bool kind_supported(TopologyKind topo, RoutingKind kind) {
 SteadyResult run_point(TopologyKind topo, RoutingKind kind) {
   SimParams p = base_params(topo);
   p.routing.kind = kind;
+  if (kind == RoutingKind::kArn) p.notify.enabled = true;
   p.traffic.kind = TrafficKind::kAdversarial;
   p.traffic.load = 0.3;
   p.traffic.adv_offset = topo == TopologyKind::kTorus ? 4 : 1;
@@ -114,6 +118,13 @@ const Golden kGolden[] = {
     {TopologyKind::kDragonfly, RoutingKind::kCbBase, 0.28759259259259257, 162.71860914359306, 0.63940759819703796, 1.5555555555555556},
     {TopologyKind::kDragonfly, RoutingKind::kCbHybrid, 0.30740740740740741, 148.79879518072289, 0.64277108433734942, 0.84722222222222221},
     {TopologyKind::kDragonfly, RoutingKind::kCbEctn, 0.2877777777777778, 167.22844272844273, 0.64478764478764483, 1.625},
+    // ARN rows are post-extraction captures pinning the NEW mechanism (no
+    // pre-extraction twin exists). On fbfly/torus the row equals MIN: the
+    // downstream-occupancy signal tops out near 0.31 of the reference
+    // buffer there (backlog pools in injection queues, not network
+    // buffers), so the 0.5 scan threshold never fires — same reason the
+    // OLM rows equal MIN on those topologies.
+    {TopologyKind::kDragonfly, RoutingKind::kArn, 0.29388888888888887, 135.3660995589162, 0.57214870825456832, 1.6805555555555556},
     {TopologyKind::kFbfly, RoutingKind::kMin, 0.25, 121.88062499999999, 0, 49.171875},
     {TopologyKind::kFbfly, RoutingKind::kValiant, 0.29895833333333333, 32.295905923344947, 1, 2.53125},
     {TopologyKind::kFbfly, RoutingKind::kUgalL, 0.29843750000000002, 17.540139616055846, 0.46492146596858641, 1.421875},
@@ -122,6 +133,7 @@ const Golden kGolden[] = {
     {TopologyKind::kFbfly, RoutingKind::kOlm, 0.25, 121.88062499999999, 0, 49.171875},
     {TopologyKind::kFbfly, RoutingKind::kCbBase, 0.29713541666666665, 25.777212971078001, 0.32892199824715163, 2.234375},
     {TopologyKind::kFbfly, RoutingKind::kCbHybrid, 0.29749999999999999, 15.593837535014005, 0.44914215686274511, 0.421875},
+    {TopologyKind::kFbfly, RoutingKind::kArn, 0.25, 121.88062499999999, 0, 49.171875},
     {TopologyKind::kTorus, RoutingKind::kMin, 0.125, 339.44760416666668, 0, 175.328125},
     {TopologyKind::kTorus, RoutingKind::kValiant, 0.083723958333333334, 344.00839813374807, 1, 179.5703125},
     {TopologyKind::kTorus, RoutingKind::kUgalL, 0.19968749999999999, 222.73037297861242, 0.76401930099113202, 97.375},
@@ -130,6 +142,7 @@ const Golden kGolden[] = {
     {TopologyKind::kTorus, RoutingKind::kOlm, 0.125, 339.44760416666668, 0, 175.328125},
     {TopologyKind::kTorus, RoutingKind::kCbBase, 0.1194921875, 309.56249318949546, 0.97591805600958914, 152.796875},
     {TopologyKind::kTorus, RoutingKind::kCbHybrid, 0.11078125, 303.60989656793606, 0.99623883403855196, 151},
+    {TopologyKind::kTorus, RoutingKind::kArn, 0.125, 339.44760416666668, 0, 175.328125},
 };
 
 }  // namespace
@@ -198,6 +211,19 @@ int main(int argc, char** argv) {
   {
     SimParams p = base_params(TopologyKind::kTorus);
     p.routing.kind = RoutingKind::kCbEctn;
+    bool threw = false;
+    try {
+      Simulator sim(p);
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+    assert(threw);
+  }
+  // ARN requires the notification plane: kArn with notify.enabled unset
+  // would silently degenerate to MIN, so the factory refuses it.
+  {
+    SimParams p = presets::tiny();
+    p.routing.kind = RoutingKind::kArn;
     bool threw = false;
     try {
       Simulator sim(p);

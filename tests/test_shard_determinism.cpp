@@ -41,10 +41,15 @@ struct RunCapture {
   std::int64_t in_network = 0;
 };
 
-RunCapture run_once(std::int32_t threads, std::int32_t jitter_us) {
+RunCapture run_once(std::int32_t threads, std::int32_t jitter_us,
+                    RoutingKind kind = RoutingKind::kCbHybrid) {
   Simulator::debug_set_shard_jitter(jitter_us);
   SimParams p = presets::tiny();
-  p.routing.kind = RoutingKind::kCbHybrid;
+  p.routing.kind = kind;
+  if (kind == RoutingKind::kArn) {
+    p.notify.enabled = true;
+    p.notify.throttle_injection = true;  // exercises the refusal path too
+  }
   p.traffic.kind = TrafficKind::kAdversarial;
   p.traffic.load = 0.35;
   p.traffic.adv_offset = 1;
@@ -136,6 +141,19 @@ int main() {
                    static_cast<long long>(cap.metrics.delivered),
                    static_cast<long long>(ref.metrics.delivered),
                    cap.metrics.latency_sum, ref.metrics.latency_sum);
+      return EXIT_FAILURE;
+    }
+  }
+
+  // --- (1b) same sweep under ARN: every shard reads the notification
+  // table other shards write, so the barrier fencing of the update window
+  // is what keeps the runs identical under scheduling skew.
+  const RunCapture arn_ref = run_once(3, 0, RoutingKind::kArn);
+  assert(arn_ref.metrics.delivered > 0);
+  for (const std::int32_t jitter : {400, 2000}) {
+    const RunCapture cap = run_once(3, jitter, RoutingKind::kArn);
+    if (!identical(arn_ref, cap)) {
+      std::fprintf(stderr, "ARN run (jitter %d us) diverged\n", jitter);
       return EXIT_FAILURE;
     }
   }

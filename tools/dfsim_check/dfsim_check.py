@@ -152,7 +152,7 @@ SCHEMA_DOC = "docs/SCHEMA.md"
 # Key groups that enter the canonical params text (and therefore the config
 # hash) only when their subsystem is enabled — the emit-only-when-enabled
 # list. Everything else must be emitted unconditionally.
-HASH_GATED_PREFIXES = ("fault.", "telemetry.", "trace.")
+HASH_GATED_PREFIXES = ("fault.", "telemetry.", "trace.", "notify.")
 # Keys allowed to be conditionally emitted without being hash-gated groups
 # (trace_path is omitted when empty: an absent path is the same run;
 # engine.threads is omitted at its default of 1 so every pre-sharding
